@@ -1,0 +1,66 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at
+reproduction scale (see EXPERIMENTS.md for the paper-vs-here parameter
+mapping) and writes the series it would plot to
+``benchmarks/results/<figure>.txt`` in addition to printing it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data import load_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Reproduction-scale sweep parameters (paper values in comments).
+FIG8_BUDGETS = (50.0, 75.0, 100.0, 125.0)     # paper: same
+FIG8_PROMOTIONS = (1, 2, 3)                   # paper: same
+FIG9_BUDGETS = (100.0, 300.0, 500.0)          # paper: 100..500 step 100
+FIG9_PROMOTIONS = (1, 5, 10)                  # paper: 1,5,10,20,40
+FIG9_T = 10                                   # paper: same
+FIG9_COST_SCALE = 4.0                         # keeps seed counts realistic
+ALGO_SAMPLES = 5                              # paper: M=100 (we re-evaluate)
+EVAL_SAMPLES = 30                             # fair re-evaluation samples
+
+#: Tight algorithm knobs for the large-figure sweeps.
+FAST_KWARGS = {
+    # Nominee selection is the noise-sensitive phase (the paper runs
+    # M=100); give it more samples while the inner DR/SI loops stay at
+    # the shared default.
+    "Dysim": {"candidate_pool": 70, "n_samples_selection": 15},
+    "BGRD": {"candidate_users": 25},
+    "HAG": {"candidate_pairs": 40},
+    "PS": {},
+    "DRHGA": {"candidate_users": 20, "users_per_item": 2},
+}
+
+#: Dataset scale factors for the large figures (users shrink ~1/1000
+#: of the originals already; these shrink further for sweep breadth).
+FIG9_SCALES = {"yelp": 1.0, "amazon": 0.45, "douban": 0.35, "gowalla": 0.5}
+
+
+def record_figure(name: str, text: str) -> None:
+    """Print a figure's series and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Memoized dataset builds shared across benchmark modules."""
+    cache: dict[tuple, object] = {}
+
+    def get(name: str, **overrides):
+        key = (name, tuple(sorted(overrides.items())))
+        if key not in cache:
+            scale = overrides.pop("scale", FIG9_SCALES.get(name, 1.0))
+            cache[key] = load_dataset(name, scale=scale, **overrides)
+        return cache[key]
+
+    return get

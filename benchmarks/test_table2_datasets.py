@@ -1,0 +1,60 @@
+"""Table II — statistics of the four dataset analogues.
+
+Regenerates the paper's dataset-statistics table for the synthetic
+analogues (scaled ~1/1000; see DESIGN.md §4).  The benchmark measures
+dataset construction time (KG + network + relevance precomputation).
+"""
+
+from repro.data import dataset_statistics, load_dataset
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import record_figure
+
+COLUMNS = (
+    "dataset",
+    "n_node_types",
+    "n_nodes",
+    "n_users",
+    "n_items",
+    "n_edge_types",
+    "n_edges",
+    "n_friendships",
+    "directed_friendship",
+    "avg_initial_influence",
+    "avg_item_importance",
+)
+
+
+def build_all():
+    return {
+        name: load_dataset(name)
+        for name in ("douban", "gowalla", "yelp", "amazon")
+    }
+
+
+def test_table2_dataset_statistics(benchmark):
+    instances = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for name, instance in instances.items():
+        stats = dataset_statistics(instance)
+        rows.append([stats[c] for c in COLUMNS])
+    record_figure(
+        "table2_datasets", format_table(list(COLUMNS), rows)
+    )
+    # Table II structural signatures that must survive the scaling.
+    stats = {n: dataset_statistics(i) for n, i in instances.items()}
+    assert stats["amazon"]["directed_friendship"]
+    assert not stats["yelp"]["directed_friendship"]
+    # Yelp has the strongest ties, Douban the weakest (Table II row).
+    assert (
+        stats["yelp"]["avg_initial_influence"]
+        > stats["gowalla"]["avg_initial_influence"]
+        > stats["douban"]["avg_initial_influence"]
+    )
+    # User-count ordering: yelp < gowalla < amazon < douban.
+    assert (
+        stats["yelp"]["n_users"]
+        < stats["gowalla"]["n_users"]
+        < stats["amazon"]["n_users"]
+        < stats["douban"]["n_users"]
+    )

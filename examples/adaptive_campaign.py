@@ -1,0 +1,45 @@
+"""Adaptive IM: plan each promotion after observing the previous one.
+
+Sec. V-D: without a predefined budget allocation, adaptive Dysim
+selects nominees round by round on the *observed* diffusion state,
+rejects antagonistic (substitutable) picks, and defers nominees whose
+substantial influence prefers the next round.
+
+Run with:  python examples/adaptive_campaign.py
+"""
+
+from repro.core.dysim import AdaptiveDysim, Dysim, DysimConfig
+from repro.data import load_dataset
+from repro.eval import evaluate_group
+
+
+def main() -> None:
+    instance = load_dataset(
+        "gowalla", scale=0.5, budget=60.0, n_promotions=4
+    )
+    config = DysimConfig(
+        n_samples_selection=6, n_samples_inner=6, candidate_pool=30
+    )
+
+    print("=== Adaptive Dysim (observes each promotion) ===")
+    adaptive = AdaptiveDysim(instance, config)
+    result = adaptive.run(world_seed=0)
+    for round_index, seeds in enumerate(result.rounds, start=1):
+        realized = result.sigma_by_promotion[round_index - 1]
+        print(f"promotion {round_index}: {len(seeds)} new seeds, "
+              f"realized spread {realized:.1f}")
+    print(f"spent {result.spent:.1f} / {instance.budget:.0f}, "
+          f"total realized spread {result.sigma_realized:.1f}")
+
+    print("\n=== Non-adaptive Dysim on the same instance ===")
+    planned = Dysim(instance, config).run()
+    sigma = evaluate_group(instance, planned.seed_group, n_samples=50)
+    print(f"{len(planned.seed_group)} seeds planned up-front, "
+          f"expected spread {sigma:.1f}")
+    print("(The adaptive number is one realized world; the planned "
+          "number is an expectation - they are not directly comparable, "
+          "but both exercise the same diffusion and perception stack.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Product launch: the paper's iPhone/AirPods/charger story end to end.
+
+Builds the Fig. 1 ecosystem by hand — four items with complementary
+and substitutable relationships — and shows how adopting items shifts
+one user's personal item network, preferences and influence strengths,
+then compares a bundle promotion against Dysim's staggered sequence.
+
+Run with:  python examples/product_launch.py
+"""
+
+import numpy as np
+
+from repro.core.dysim import Dysim, DysimConfig
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.eval import evaluate_group
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.metagraph import (
+    Relationship,
+    diamond_metagraph,
+    shared_attribute_metagraph,
+)
+from repro.kg.relevance import RelevanceEngine
+from repro.social.generators import community_network
+from repro.social.costs import seed_costs
+from repro.perception.weights import initial_weights
+from repro.utils.rng import RngFactory
+
+ITEMS = ["iPhone", "AirPods", "wireless-charger", "iPad"]
+
+
+def build_instance() -> IMDPPInstance:
+    """Fig. 1's KG over a 60-user community network."""
+    kg = KnowledgeGraph()
+    nodes = {name: kg.add_node("ITEM", name) for name in ITEMS}
+    bluetooth = kg.add_node("FEATURE", "Bluetooth")
+    qi = kg.add_node("FEATURE", "Qi-standard")
+    apple = kg.add_node("BRAND", "Apple")
+    handheld = kg.add_node("CATEGORY", "handheld-computer")
+    audio = kg.add_node("CATEGORY", "audio")
+
+    kg.add_edge(nodes["iPhone"], bluetooth, "SUPPORT")
+    kg.add_edge(nodes["AirPods"], bluetooth, "SUPPORT")
+    kg.add_edge(nodes["iPhone"], qi, "SUPPORT")
+    kg.add_edge(nodes["wireless-charger"], qi, "SUPPORT")
+    kg.add_edge(nodes["iPad"], bluetooth, "SUPPORT")
+    for name in ITEMS:
+        kg.add_edge(nodes[name], apple, "PRODUCED_BY")
+    kg.add_edge(nodes["iPhone"], handheld, "BELONGS_TO")
+    kg.add_edge(nodes["iPad"], handheld, "BELONGS_TO")
+    kg.add_edge(nodes["AirPods"], audio, "BELONGS_TO")
+
+    meta_graphs = [
+        shared_attribute_metagraph(
+            "m1-shared-feature", Relationship.COMPLEMENTARY,
+            "FEATURE", "SUPPORT",
+        ),
+        diamond_metagraph(
+            "m3-feature-brand", Relationship.COMPLEMENTARY,
+            [("FEATURE", "SUPPORT"), ("BRAND", "PRODUCED_BY")],
+        ),
+        shared_attribute_metagraph(
+            "ms1-shared-category", Relationship.SUBSTITUTABLE,
+            "CATEGORY", "BELONGS_TO",
+        ),
+    ]
+    relevance = RelevanceEngine(
+        kg, meta_graphs, [nodes[name] for name in ITEMS]
+    )
+
+    factory = RngFactory(42)
+    network = community_network(
+        60, 4, factory.stream("net"), mean_strength=0.12, directed=False
+    )
+    rng = factory.stream("users")
+    base_preference = rng.beta(2.0, 4.0, size=(60, len(ITEMS)))
+    weights = initial_weights(60, relevance.n_meta, rng=rng)
+    return IMDPPInstance(
+        network=network,
+        kg=kg,
+        relevance=relevance,
+        importance=np.array([2.0, 1.0, 0.8, 1.8]),  # price-like
+        base_preference=base_preference,
+        initial_weights=weights,
+        costs=seed_costs(network, base_preference, scale=0.8),
+        budget=60.0,
+        n_promotions=3,
+        name="apple-launch",
+    )
+
+
+def show_perception_shift(instance: IMDPPInstance) -> None:
+    """Bob adopts iPhone + AirPods; watch Fig. 1(c) -> 1(d) happen."""
+    state = instance.new_state()
+    bob = 0
+    pin_before = state.personal_item_network(bob)
+    pref_before = state.preference_of(bob, ITEMS.index("wireless-charger"))
+
+    state.apply_step_adoptions({bob: [ITEMS.index("iPhone"),
+                                      ITEMS.index("AirPods")]})
+
+    pin_after = state.personal_item_network(bob)
+    pref_after = state.preference_of(bob, ITEMS.index("wireless-charger"))
+    i, c = ITEMS.index("iPhone"), ITEMS.index("wireless-charger")
+    print("Bob's perception of iPhone<->charger complementarity: "
+          f"{pin_before.complementary[i, c]:.3f} -> "
+          f"{pin_after.complementary[i, c]:.3f}")
+    print("Bob's preference for the wireless charger:          "
+          f"{pref_before:.3f} -> {pref_after:.3f}")
+
+
+def main() -> None:
+    instance = build_instance()
+    print("=== Dynamic personal perception (Fig. 1 walkthrough) ===")
+    show_perception_shift(instance)
+
+    print("\n=== Bundle promotion vs Dysim's staggered sequence ===")
+    # Naive launch: influential users promote everything at once,
+    # hiring the highest-degree affordable users first.
+    bundle = SeedGroup()
+    spent = 0.0
+    for hub in sorted(instance.network.users(),
+                      key=instance.network.out_degree, reverse=True):
+        for item in range(len(ITEMS)):
+            cost = instance.cost(hub, item)
+            if spent + cost <= instance.budget:
+                bundle.add(Seed(hub, item, 1))
+                spent += cost
+        if spent >= instance.budget * 0.9:
+            break
+    sigma_bundle = evaluate_group(instance, bundle, n_samples=60)
+    print(f"bundle-at-once via hub user {hub}: sigma = {sigma_bundle:.1f}")
+
+    result = Dysim(
+        instance,
+        DysimConfig(n_samples_selection=8, n_samples_inner=8,
+                    candidate_pool=50),
+    ).run()
+    sigma_dysim = evaluate_group(instance, result.seed_group, n_samples=60)
+    print(f"Dysim ({len(result.seed_group)} seeds, "
+          f"{len(result.markets)} markets): sigma = {sigma_dysim:.1f}")
+    for seed in result.seed_group:
+        print(f"  t={seed.promotion}: user {seed.user} promotes "
+              f"{ITEMS[seed.item]}")
+
+
+if __name__ == "__main__":
+    main()

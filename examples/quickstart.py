@@ -1,0 +1,42 @@
+"""Quickstart: build a dataset, run Dysim, inspect the seed group.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core.dysim import Dysim, DysimConfig
+from repro.data import dataset_statistics, load_dataset
+from repro.eval import evaluate_group
+
+
+def main() -> None:
+    # 1. Build a synthetic Yelp-like dataset: a social network, a
+    #    knowledge graph with complementary/substitutable meta-graphs,
+    #    item importances, base preferences and seed costs.
+    instance = load_dataset("yelp", budget=80.0, n_promotions=3)
+    print("Dataset:", dataset_statistics(instance))
+
+    # 2. Run Dysim (the paper's Algorithm 1): TMI selects nominees and
+    #    target markets, DRE orders the items by dynamic reachability,
+    #    TDSI assigns promotional timings by substantial influence.
+    config = DysimConfig(
+        n_samples_selection=8,   # Monte-Carlo samples in the MCP oracle
+        n_samples_inner=8,       # samples for DR / SI evaluation
+        candidate_pool=60,       # nominee shortlist size
+    )
+    result = Dysim(instance, config).run()
+
+    print(f"\nDysim selected {len(result.seed_group)} seeds "
+          f"across {len(result.markets)} target markets "
+          f"in {result.runtime_seconds:.1f}s:")
+    for seed in result.seed_group:
+        item_node = instance.relevance.item_nodes[seed.item]
+        print(f"  promote {instance.kg.node_label(item_node)!r} "
+              f"via user {seed.user} in promotion {seed.promotion}")
+
+    # 3. Evaluate the seed group with a fresh Monte-Carlo estimator.
+    sigma = evaluate_group(instance, result.seed_group, n_samples=50)
+    print(f"\nImportance-aware influence spread: {sigma:.1f}")
+
+
+if __name__ == "__main__":
+    main()

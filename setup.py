@@ -1,0 +1,5 @@
+"""Legacy-editable-install shim (environments without the wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — Influence Maximization based on Dynamic Personal Perception.
+
+A from-scratch reproduction of Teng et al., *"Influence Maximization
+Based on Dynamic Personal Perception in Knowledge Graph"* (ICDE 2021):
+the IMDPP problem, the Dysim approximation algorithm, the dynamic-
+perception diffusion substrate, the compared baselines, and synthetic
+analogues of the paper's datasets.
+
+Typical usage::
+
+    from repro import Dysim, DysimConfig, load_dataset
+
+    instance = load_dataset("yelp", budget=80.0, n_promotions=3)
+    result = Dysim(instance, DysimConfig()).run()
+    print(result.seed_group, result.sigma)
+"""
+
+from repro.core.dysim import AdaptiveDysim, Dysim, DysimConfig, DysimResult
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.data import (
+    DATASET_NAMES,
+    build_course_classes,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.diffusion import (
+    CampaignOutcome,
+    CampaignSimulator,
+    DiffusionModel,
+    SigmaEstimator,
+)
+from repro.errors import ReproError
+from repro.kg import KnowledgeGraph, MetaGraph, RelevanceEngine, Relationship
+from repro.perception import DynamicsParams, PerceptionState
+from repro.social import SocialNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveDysim",
+    "CampaignOutcome",
+    "CampaignSimulator",
+    "DATASET_NAMES",
+    "DiffusionModel",
+    "Dysim",
+    "DysimConfig",
+    "DysimResult",
+    "DynamicsParams",
+    "IMDPPInstance",
+    "KnowledgeGraph",
+    "MetaGraph",
+    "PerceptionState",
+    "Relationship",
+    "RelevanceEngine",
+    "ReproError",
+    "Seed",
+    "SeedGroup",
+    "SigmaEstimator",
+    "SocialNetwork",
+    "build_course_classes",
+    "dataset_statistics",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""BGRD — bundle greedy (after Banerjee, Chen, Lakshmanan [38]).
+
+The utility-driven welfare maximizer of [38] selects *users* and
+promotes item bundles to each.  As the paper notes (Sec. VI-B / VI-E),
+BGRD "neglects the substitutable relationship and regards all items as
+a bundle to be promoted" — in the empirical study it hands one student
+python *and* C++ together.  We implement it accordingly: each user's
+bundle is their top items by utility (preference x importance) with no
+relationship check, and users are added greedily by marginal spread
+per bundle cost under the shared budget.  Timings come from the
+CR-Greedy augmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, make_estimators, timer
+from repro.baselines.cr_greedy import assign_timings
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.diffusion.models import DiffusionModel
+
+__all__ = ["run_bgrd"]
+
+
+def run_bgrd(
+    instance: IMDPPInstance,
+    n_samples: int = 12,
+    seed: int = 0,
+    model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    candidate_users: int = 60,
+    bundle_size: int = 3,
+) -> BaselineResult:
+    """Run BGRD and return its (budget-feasible) seed group."""
+    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    utility = instance.base_preference * instance.importance[None, :]
+
+    def bundle_of(user: int) -> list[int]:
+        """Top items by the user's utility — relationships ignored."""
+        order = np.argsort(-utility[user])
+        return [int(i) for i in order[:bundle_size]]
+
+    def bundle_cost(user: int) -> float:
+        return float(
+            sum(instance.cost(user, item) for item in bundle_of(user))
+        )
+
+    with timer() as clock:
+        users = sorted(
+            (u for u in instance.network.users()
+             if instance.network.out_degree(u) > 0),
+            key=lambda u: -(1 + instance.network.out_degree(u))
+            / bundle_cost(u),
+        )[:candidate_users]
+
+        chosen_users: list[int] = []
+        chosen_group = SeedGroup()
+        spent = 0.0
+        current_value = 0.0
+        while True:
+            # Cost enters only through feasibility: the paper extends
+            # the baselines with budget checks, not cost-effectiveness.
+            best_user, best_value = None, current_value
+            for user in users:
+                if user in chosen_users:
+                    continue
+                cost = bundle_cost(user)
+                if spent + cost > instance.budget:
+                    continue
+                trial = chosen_group.union(
+                    Seed(user, item, 1) for item in bundle_of(user)
+                )
+                value = frozen.estimate(trial, until_promotion=1).sigma
+                if value > best_value:
+                    best_user, best_value = user, value
+            if best_user is None:
+                break
+            chosen_users.append(best_user)
+            spent += bundle_cost(best_user)
+            chosen_group.extend(
+                Seed(best_user, item, 1) for item in bundle_of(best_user)
+            )
+            current_value = best_value
+
+        picks = [
+            (user, item)
+            for user in chosen_users
+            for item in bundle_of(user)
+        ]
+        scheduled = assign_timings(instance, picks, frozen)
+
+    sigma = dynamic.sigma(scheduled)
+    return BaselineResult(
+        name="BGRD",
+        seed_group=scheduled,
+        sigma=sigma,
+        runtime_seconds=clock.seconds,
+        diagnostics={"users": chosen_users, "spent": spent},
+    )

@@ -1,0 +1,126 @@
+"""Command-line interface: run algorithms and inspect datasets.
+
+Usage examples::
+
+    python -m repro.cli stats --dataset yelp
+    python -m repro.cli run --dataset yelp --algorithm Dysim \
+        --budget 80 --promotions 3
+    python -m repro.cli compare --dataset amazon-small --budget 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
+from repro.eval.metrics import campaign_report
+from repro.eval.reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMDPP / Dysim reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print Table II-style statistics")
+    _add_dataset_args(stats)
+
+    run = sub.add_parser("run", help="run one algorithm and report")
+    _add_dataset_args(run)
+    run.add_argument(
+        "--algorithm",
+        default="Dysim",
+        choices=sorted(ALGORITHMS),
+    )
+    run.add_argument("--samples", type=int, default=8)
+    run.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="run all algorithms")
+    _add_dataset_args(compare)
+    compare.add_argument("--samples", type=int, default=6)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--skip", nargs="*", default=["OPT"],
+        help="algorithms to leave out (OPT by default; it is slow)",
+    )
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="yelp", choices=sorted(DATASET_NAMES)
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--budget", type=float, default=None)
+    parser.add_argument("--promotions", type=int, default=None)
+
+
+def _load(args) -> object:
+    overrides = {}
+    if args.budget is not None:
+        overrides["budget"] = args.budget
+    if args.promotions is not None:
+        overrides["n_promotions"] = args.promotions
+    return load_dataset(args.dataset, scale=args.scale, **overrides)
+
+
+def _command_stats(args) -> int:
+    instance = _load(args)
+    stats = dataset_statistics(instance)
+    print(format_table(list(stats), [list(stats.values())]))
+    return 0
+
+
+def _command_run(args) -> int:
+    instance = _load(args)
+    result = run_algorithm(
+        args.algorithm, instance, n_samples=args.samples, seed=args.seed
+    )
+    print(f"{args.algorithm} selected {len(result.seed_group)} seeds "
+          f"in {result.runtime_seconds:.1f}s:")
+    for seed in result.seed_group:
+        print(f"  user={seed.user} item={seed.item} t={seed.promotion}")
+    report = campaign_report(instance, result.seed_group, seed=args.seed)
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def _command_compare(args) -> int:
+    instance = _load(args)
+    names = [n for n in ALGORITHMS if n not in set(args.skip)]
+    rows = []
+    for name in names:
+        result = run_algorithm(
+            name, instance, n_samples=args.samples, seed=args.seed
+        )
+        sigma = evaluate_group(instance, result.seed_group, n_samples=30)
+        rows.append(
+            [name, f"{sigma:.1f}", len(result.seed_group),
+             f"{result.runtime_seconds:.1f}s"]
+        )
+    rows.sort(key=lambda r: -float(r[1]))
+    print(format_table(["algorithm", "sigma", "seeds", "time"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": _command_stats,
+        "run": _command_run,
+        "compare": _command_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

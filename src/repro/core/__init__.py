@@ -1,0 +1,5 @@
+"""The paper's primary contribution: IMDPP and the Dysim algorithm."""
+
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+
+__all__ = ["IMDPPInstance", "Seed", "SeedGroup"]

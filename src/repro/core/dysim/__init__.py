@@ -1,0 +1,22 @@
+"""Dysim — Dynamic perception for seeding in target markets (Sec. IV).
+
+The algorithm has three phases (Algorithm 1):
+
+* **TMI** (Target Market Identification) — select cost-effective
+  nominees by MCP (:mod:`repro.core.dysim.nominees`), cluster them
+  into target markets of socially close users promoting complementary
+  items (:mod:`repro.core.dysim.clustering`,
+  :mod:`repro.core.dysim.markets`), and order overlapping markets by
+  Antagonistic Extent.
+* **DRE** (Dynamic Reachability Evaluation) — inside each market,
+  promote the item with the highest dynamic reachability first
+  (:mod:`repro.core.dysim.reachability`).
+* **TDSI** (Timing Determination by Substantial Influence) — assign
+  each candidate seed the promotional timing with the largest
+  substantial influence (:mod:`repro.core.dysim.timing`).
+"""
+
+from repro.core.dysim.algorithm import Dysim, DysimConfig, DysimResult
+from repro.core.dysim.adaptive import AdaptiveDysim
+
+__all__ = ["Dysim", "DysimConfig", "DysimResult", "AdaptiveDysim"]

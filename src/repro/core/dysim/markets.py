@@ -1,0 +1,213 @@
+"""Target markets: identification, overlap groups, promoting order.
+
+A *target market* ``tau`` is the set of users effectively influenceable
+from a nominee cluster — grown with MIOA [23] from the cluster's users
+(Sec. IV-B).  Markets sharing more than ``theta`` common users form a
+group ``G`` whose promoting order matters because their items may be
+substitutable; TMI orders each group by **Antagonistic Extent**
+
+    AE(tau_i) = sum_{x in tau_i, y in tau_j, j != i} r̄^S_{x,y}
+
+ascending (Procedure 4).  Sec. VI-D additionally evaluates PF
+(profitability), SZ (market size), RMS (relative market share) and RD
+(random); all five are implemented here for the Fig. 11 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.diffusion.montecarlo import SigmaEstimator
+from repro.errors import AlgorithmError
+from repro.social.mioa import mioa_union
+
+__all__ = [
+    "TargetMarket",
+    "identify_markets",
+    "group_markets",
+    "order_group",
+    "antagonistic_extent",
+    "MARKET_ORDERS",
+]
+
+MARKET_ORDERS = ("AE", "PF", "SZ", "RMS", "RD")
+
+
+@dataclass
+class TargetMarket:
+    """One target market.
+
+    Attributes
+    ----------
+    market_id:
+        Stable index for reporting.
+    nominees:
+        ``N_tau`` — the user-item pairs promoting into this market.
+    users:
+        ``V_tau`` — the market's users (MIOA region union).
+    diameter:
+        ``d_tau`` — hop diameter of the induced subgraph, the item
+        impact propagation depth in Eq. (1).
+    """
+
+    market_id: int
+    nominees: list[tuple[int, int]]
+    users: set[int]
+    diameter: int
+
+    @property
+    def items(self) -> set[int]:
+        """Items promoted by this market's nominees."""
+        return {item for _, item in self.nominees}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TargetMarket(#{self.market_id}, {len(self.nominees)} nominees, "
+            f"{len(self.users)} users, d={self.diameter})"
+        )
+
+
+def identify_markets(
+    instance: IMDPPInstance,
+    clusters: list[list[tuple[int, int]]],
+    theta_path: float = 1.0 / 320.0,
+    diameter_cap: int = 5,
+) -> list[TargetMarket]:
+    """Grow one target market per nominee cluster with MIOA."""
+    markets = []
+    for market_id, cluster in enumerate(clusters):
+        sources = sorted({user for user, _ in cluster})
+        users = mioa_union(instance.network, sources, theta_path)
+        diameter = instance.network.subgraph_diameter(users, cap=diameter_cap)
+        markets.append(
+            TargetMarket(
+                market_id=market_id,
+                nominees=list(cluster),
+                users=users,
+                diameter=diameter,
+            )
+        )
+    return markets
+
+
+def group_markets(
+    markets: list[TargetMarket], theta: int
+) -> list[list[TargetMarket]]:
+    """Partition markets into overlap groups ``CG`` (Procedure 4).
+
+    Two markets join the same group when they share **more than**
+    ``theta`` common users; grouping is transitive (connected
+    components), mirroring "put tau_i and tau_j in the same G".
+    """
+    n = len(markets)
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if len(markets[i].users & markets[j].users) > theta:
+                parent[find(j)] = find(i)
+    groups: dict[int, list[TargetMarket]] = {}
+    for i, market in enumerate(markets):
+        groups.setdefault(find(i), []).append(market)
+    return list(groups.values())
+
+
+def antagonistic_extent(
+    market: TargetMarket,
+    group: list[TargetMarket],
+    substitutable: np.ndarray,
+) -> float:
+    """``AE(tau_i)`` — substitutable mass against the rest of the group."""
+    total = 0.0
+    own_items = market.items
+    for other in group:
+        if other.market_id == market.market_id:
+            continue
+        for x in own_items:
+            for y in other.items:
+                total += float(substitutable[x, y])
+    return total
+
+
+def _profitability(
+    market: TargetMarket,
+    instance: IMDPPInstance,
+    estimator: SigmaEstimator,
+) -> float:
+    """PF: expected adoptions from the market's nominees minus cost."""
+    group = SeedGroup(
+        Seed(user, item, 1) for user, item in sorted(market.nominees)
+    )
+    value = estimator.estimate(group, until_promotion=1).sigma
+    cost = sum(instance.cost(user, item) for user, item in market.nominees)
+    return value - cost
+
+
+def _relative_market_share(
+    market: TargetMarket,
+    instance: IMDPPInstance,
+    substitutable: np.ndarray,
+) -> float:
+    """RMS: mean over items of share(x) / best substitutable share."""
+    preferences = instance.base_preference
+    favourite = preferences.argmax(axis=1)
+    shares = np.bincount(favourite, minlength=instance.n_items).astype(float)
+    ratios = []
+    for item in market.items:
+        rivals = np.flatnonzero(substitutable[item] > 0)
+        rival_share = max(
+            (shares[r] for r in rivals if r != item), default=0.0
+        )
+        ratios.append(shares[item] / rival_share if rival_share > 0 else shares[item] + 1.0)
+    return float(np.mean(ratios)) if ratios else 0.0
+
+
+def order_group(
+    group: list[TargetMarket],
+    instance: IMDPPInstance,
+    substitutable: np.ndarray,
+    order: str = "AE",
+    estimator: SigmaEstimator | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[TargetMarket]:
+    """Return the group's markets in promoting order.
+
+    ``order`` is one of :data:`MARKET_ORDERS`.  AE sorts ascending
+    (less antagonism first); PF, SZ, RMS sort descending; RD shuffles.
+    """
+    if order not in MARKET_ORDERS:
+        raise AlgorithmError(
+            f"order must be one of {MARKET_ORDERS}, got {order!r}"
+        )
+    if order == "AE":
+        return sorted(
+            group,
+            key=lambda m: antagonistic_extent(m, group, substitutable),
+        )
+    if order == "SZ":
+        return sorted(group, key=lambda m: -len(m.users))
+    if order == "RMS":
+        return sorted(
+            group,
+            key=lambda m: -_relative_market_share(m, instance, substitutable),
+        )
+    if order == "RD":
+        rng = rng or np.random.default_rng(0)
+        shuffled = list(group)
+        rng.shuffle(shuffled)
+        return shuffled
+    # PF
+    if estimator is None:
+        raise AlgorithmError("PF ordering needs a sigma estimator")
+    return sorted(
+        group, key=lambda m: -_profitability(m, instance, estimator)
+    )

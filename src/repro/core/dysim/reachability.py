@@ -1,0 +1,128 @@
+"""Dynamic Reachability (DR) — Eq. (1), (9), (10).
+
+For a target market ``tau`` and candidate item ``x``:
+
+* the **proactive impact** ``PI(x, d)`` is the likelihood that
+  promoting ``x`` raises market users' preferences for other items —
+  complements add, substitutes subtract, recursively through the item
+  graph up to the market diameter;
+* the **reactive impact** ``RI(x, d)`` mirrors it from the other side:
+  the likelihood that *previously promoted* items raise the market's
+  preference for ``x`` (weighted only by ``w_x``, since only ``x``'s
+  preference is at stake).
+
+``DR = PI + RI``; DRE promotes the item with the highest DR first.
+The likelihoods ``L^C = r̄^C / (r̄^C + r̄^S)`` and
+``L^S = r̄^S / (r̄^C + r̄^S)`` are taken over the market-average
+personal item networks *after* promoting the current seed group — the
+"dynamic" in dynamic reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReachabilityTable", "dynamic_reachability"]
+
+
+@dataclass
+class ReachabilityTable:
+    """Precomputed DR ingredients for one market state.
+
+    Built once per (seed-group, market) pair; DR queries for all items
+    are then memoized recursions over the same likelihood matrices.
+    """
+
+    avg_complementary: np.ndarray
+    avg_substitutable: np.ndarray
+    importance: np.ndarray
+    depth: int
+
+    def __post_init__(self):
+        r_c = np.asarray(self.avg_complementary, dtype=float)
+        r_s = np.asarray(self.avg_substitutable, dtype=float)
+        denominator = r_c + r_s
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self.likelihood_c = np.where(denominator > 0, r_c / denominator, 0.0)
+            self.likelihood_s = np.where(denominator > 0, r_s / denominator, 0.0)
+        self.n_items = r_c.shape[0]
+        #: per-(x, y) signed one-hop impact contribution, excluding the
+        #: item-importance factor (applied by PI with w_y, RI with w_x).
+        self.signed_impact = (
+            self.likelihood_c * r_c - self.likelihood_s * r_s
+        )
+        #: neighbourhood: items with any relevance to each item.
+        self.relevant: list[np.ndarray] = [
+            np.flatnonzero(denominator[x] > 0) for x in range(self.n_items)
+        ]
+        self._pi_cache: dict[tuple[int, int], float] = {}
+        self._ri_cache: dict[tuple[int, int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def proactive_impact(self, item: int, depth: int | None = None) -> float:
+        """``PI_{W,tau}(S_G, item, depth)`` of Eq. (9)."""
+        depth = self.depth if depth is None else depth
+        return self._pi(item, depth)
+
+    def _pi(self, item: int, depth: int) -> float:
+        if depth <= 0:
+            return 0.0
+        key = (item, depth)
+        cached = self._pi_cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for other in self.relevant[item]:
+            other = int(other)
+            total += (
+                self.signed_impact[item, other] * self.importance[other]
+                + self._pi(other, depth - 1)
+            )
+        self._pi_cache[key] = total
+        return total
+
+    def reactive_impact(self, item: int, depth: int | None = None) -> float:
+        """``RI_{w_x,tau}(S_G, item, depth)`` of Eq. (10)."""
+        depth = self.depth if depth is None else depth
+        return self._ri(item, item, depth)
+
+    def _ri(self, anchor: int, item: int, depth: int) -> float:
+        """Recursive RI; ``anchor`` fixes the importance weight w_x."""
+        if depth <= 0:
+            return 0.0
+        key = (anchor, item, depth)
+        cached = self._ri_cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for other in self.relevant[item]:
+            other = int(other)
+            total += (
+                self.signed_impact[other, item] * self.importance[anchor]
+                + self._ri(anchor, other, depth - 1)
+            )
+        self._ri_cache[key] = total
+        return total
+
+    def dynamic_reachability(self, item: int) -> float:
+        """``DR = PI + RI`` of Eq. (1)."""
+        return self.proactive_impact(item) + self.reactive_impact(item)
+
+
+def dynamic_reachability(
+    avg_complementary: np.ndarray,
+    avg_substitutable: np.ndarray,
+    importance: np.ndarray,
+    item: int,
+    depth: int,
+) -> float:
+    """One-shot DR query (convenience wrapper for tests/examples)."""
+    table = ReachabilityTable(
+        avg_complementary=avg_complementary,
+        avg_substitutable=avg_substitutable,
+        importance=np.asarray(importance, dtype=float),
+        depth=depth,
+    )
+    return table.dynamic_reachability(item)

@@ -1,0 +1,103 @@
+"""Substantial Influence and timing determination (TDSI, Eq. (2)).
+
+For a candidate seed ``(u, x_p, t)`` relative to the current group
+``S_G`` and market ``tau_k``:
+
+    SI = MA + (T - t + 1) / T * ML
+
+* **Marginal adoption** ``MA`` (Eq. (11)) — increase of the
+  importance-aware adoptions inside the market when the seed joins.
+* **Marginal likelihood** ``ML`` (Eq. (12), (13)) — increase of the
+  likelihood that market users adopt their not-yet-adopted items in
+  future promotions (``pi_tau``: aggregated next-promotion influence
+  times preference, summed over users and items), discounted by the
+  fraction of promotions still remaining.
+
+Both are Monte-Carlo differences; the estimator's common random
+numbers and per-group caching keep the baseline term shared across all
+candidates of one TDSI iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.diffusion.montecarlo import SigmaEstimator
+
+__all__ = ["substantial_influence", "best_timed_seed", "TimingDecision"]
+
+
+def substantial_influence(
+    estimator: SigmaEstimator,
+    market_users: set[int],
+    seed_group: SeedGroup,
+    candidate: Seed,
+    n_promotions: int,
+) -> float:
+    """``SI_tau(S_G, (u, x_p, t), T)`` of Eq. (2)."""
+    horizon = max(seed_group.latest_promotion, candidate.promotion)
+    base = estimator.estimate(
+        seed_group,
+        until_promotion=horizon,
+        restrict_users=market_users,
+        compute_likelihood=True,
+    )
+    extended = estimator.estimate(
+        seed_group.with_seed(candidate),
+        until_promotion=horizon,
+        restrict_users=market_users,
+        compute_likelihood=True,
+    )
+    marginal_adoption = extended.sigma_restricted - base.sigma_restricted
+    marginal_likelihood = extended.likelihood - base.likelihood
+    remaining = (n_promotions - candidate.promotion + 1) / n_promotions
+    return marginal_adoption + remaining * marginal_likelihood
+
+
+@dataclass
+class TimingDecision:
+    """Winner of one TDSI iteration."""
+
+    seed: Seed
+    substantial_influence: float
+
+
+def best_timed_seed(
+    instance: IMDPPInstance,
+    estimator: SigmaEstimator,
+    market_users: set[int],
+    seed_group: SeedGroup,
+    pending_nominees: list[tuple[int, int]],
+    promotion_ceiling: int,
+) -> TimingDecision | None:
+    """Pick the nominee-timing pair with the largest SI.
+
+    The timing search window is ``[t̂, min(t̂ + 1, ceiling, T)]`` where
+    ``t̂`` is the latest promotion already in the group (Sec. IV-B.3:
+    earlier timings are dominated, later ones only shrink the ML term).
+    Returns None when no feasible candidate exists.
+    """
+    if not pending_nominees:
+        return None
+    t_hat = max(seed_group.latest_promotion, 1)
+    upper = min(t_hat + 1, promotion_ceiling, instance.n_promotions)
+    timings = [t for t in (t_hat, t_hat + 1) if t <= upper]
+    if not timings:
+        timings = [min(t_hat, instance.n_promotions)]
+    best: TimingDecision | None = None
+    for user, item in pending_nominees:
+        for timing in timings:
+            candidate = Seed(user, item, timing)
+            if candidate in seed_group:
+                continue
+            value = substantial_influence(
+                estimator,
+                market_users,
+                seed_group,
+                candidate,
+                instance.n_promotions,
+            )
+            if best is None or value > best.substantial_influence:
+                best = TimingDecision(candidate, value)
+    return best

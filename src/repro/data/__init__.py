@@ -1,0 +1,16 @@
+"""Datasets: synthetic analogues of the paper's corpora + course study."""
+
+from repro.data.registry import DATASET_NAMES, load_dataset
+from repro.data.synthetic import SyntheticSpec, build_dataset
+from repro.data.courses import build_course_classes, CourseClassSpec
+from repro.data.stats import dataset_statistics
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "SyntheticSpec",
+    "build_dataset",
+    "build_course_classes",
+    "CourseClassSpec",
+    "dataset_statistics",
+]

@@ -1,0 +1,32 @@
+"""Dataset statistics in the shape of the paper's Table II / III."""
+
+from __future__ import annotations
+
+from repro.core.problem import IMDPPInstance
+
+__all__ = ["dataset_statistics"]
+
+
+def dataset_statistics(instance: IMDPPInstance) -> dict[str, object]:
+    """Table II row for one instance.
+
+    Keys mirror the paper's rows: node/edge type counts, user/item
+    counts, friendships, directedness, average initial influence
+    strength and average item importance.
+    """
+    kg_counts = instance.kg.subgraph_counts()
+    return {
+        "dataset": instance.name,
+        "n_node_types": kg_counts["n_node_types"],
+        "n_nodes": kg_counts["n_nodes"],
+        "n_users": instance.n_users,
+        "n_items": instance.n_items,
+        "n_edge_types": kg_counts["n_edge_types"],
+        "n_edges": kg_counts["n_edges"],
+        "n_friendships": instance.network.n_friendships,
+        "directed_friendship": instance.network.directed,
+        "avg_initial_influence": round(
+            instance.network.average_strength(), 4
+        ),
+        "avg_item_importance": round(float(instance.importance.mean()), 3),
+    }

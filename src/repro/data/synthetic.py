@@ -1,0 +1,249 @@
+"""Synthetic dataset generator.
+
+The paper evaluates on Amazon / Yelp / Douban / Gowalla — proprietary
+multi-million-node dumps.  We regenerate the *structural signatures*
+those algorithms are sensitive to (DESIGN.md §4) at laptop scale:
+
+* a social network with communities / degree skew and a controlled
+  average influence strength (Table II row);
+* a KG in which items form **ecosystems** (shared brand + feature
+  pool → complementary relevance across categories, like
+  iPhone/AirPods/charger) and **categories** (shared category →
+  substitutable relevance, like two cameras);
+* price-like log-normal item importance (uniform for the Gowalla
+  analogue, whose site is offline — the paper randomizes it too);
+* base preferences biased toward each user's affinity ecosystem;
+* seed costs proportional to out-degree over preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import IMDPPInstance
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.metagraph import (
+    MetaGraph,
+    Relationship,
+    diamond_metagraph,
+    shared_attribute_metagraph,
+)
+from repro.kg.relevance import RelevanceEngine
+from repro.perception.params import DynamicsParams
+from repro.perception.weights import initial_weights
+from repro.social.costs import seed_costs
+from repro.social.generators import (
+    community_network,
+    scale_free_network,
+    small_world_network,
+)
+from repro.utils.rng import RngFactory
+
+__all__ = ["SyntheticSpec", "build_dataset", "standard_metagraphs"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic dataset.
+
+    Attributes mirror the Table II axes; see the module docstring for
+    how each maps onto the generated structures.
+    """
+
+    name: str
+    n_users: int = 200
+    n_items: int = 40
+    n_ecosystems: int = 6
+    n_categories: int = 8
+    n_features: int = 30
+    n_tags: int = 20
+    n_venues: int = 10
+    network_kind: str = "community"  # community | scale_free | small_world
+    directed: bool = False
+    mean_strength: float = 0.1
+    importance: str = "lognormal"  # lognormal | uniform
+    importance_mean: float = 1.6
+    n_meta_complementary: int = 3  # Fig. 13 sweeps 1..3
+    budget: float = 100.0
+    n_promotions: int = 3
+    cost_scale: float = 1.0
+    dynamics: DynamicsParams = field(default_factory=DynamicsParams)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_users < 2 or self.n_items < 2:
+            raise DatasetError("need at least 2 users and 2 items")
+        if not 1 <= self.n_meta_complementary <= 3:
+            raise DatasetError("n_meta_complementary must be in 1..3")
+        if self.network_kind not in (
+            "community",
+            "scale_free",
+            "small_world",
+        ):
+            raise DatasetError(
+                f"unknown network kind {self.network_kind!r}"
+            )
+
+
+def standard_metagraphs(n_complementary: int = 3) -> list[MetaGraph]:
+    """The meta-graph set used by every synthetic dataset.
+
+    Complementary (in Fig. 1(b) order): shared FEATURE, shared BRAND,
+    and the FEATURE+BRAND diamond.  Substitutable: shared CATEGORY.
+    ``n_complementary`` truncates the complementary list (Fig. 13).
+    """
+    complementary = [
+        shared_attribute_metagraph(
+            "m1-shared-feature",
+            Relationship.COMPLEMENTARY,
+            "FEATURE",
+            "SUPPORT",
+        ),
+        shared_attribute_metagraph(
+            "m2-shared-brand",
+            Relationship.COMPLEMENTARY,
+            "BRAND",
+            "PRODUCED_BY",
+        ),
+        diamond_metagraph(
+            "m3-feature-brand-diamond",
+            Relationship.COMPLEMENTARY,
+            [("FEATURE", "SUPPORT"), ("BRAND", "PRODUCED_BY")],
+        ),
+    ]
+    substitutable = [
+        shared_attribute_metagraph(
+            "ms1-shared-category",
+            Relationship.SUBSTITUTABLE,
+            "CATEGORY",
+            "BELONGS_TO",
+        ),
+    ]
+    return complementary[:n_complementary] + substitutable
+
+
+def _build_kg(
+    spec: SyntheticSpec, rng: np.random.Generator
+) -> tuple[KnowledgeGraph, list[int], np.ndarray, np.ndarray]:
+    """Generate the KG; returns (kg, item_nodes, ecosystem, category)."""
+    kg = KnowledgeGraph()
+    item_nodes = [
+        kg.add_node("ITEM", label=f"{spec.name}-item-{i}")
+        for i in range(spec.n_items)
+    ]
+    features = [
+        kg.add_node("FEATURE", label=f"feature-{i}")
+        for i in range(spec.n_features)
+    ]
+    brands = [
+        kg.add_node("BRAND", label=f"brand-{i}")
+        for i in range(spec.n_ecosystems)
+    ]
+    categories = [
+        kg.add_node("CATEGORY", label=f"category-{i}")
+        for i in range(spec.n_categories)
+    ]
+    tags = [kg.add_node("TAG", label=f"tag-{i}") for i in range(spec.n_tags)]
+    venues = [
+        kg.add_node("VENUE", label=f"venue-{i}") for i in range(spec.n_venues)
+    ]
+
+    # Each ecosystem owns a slice of the feature space.
+    pools = np.array_split(np.arange(spec.n_features), spec.n_ecosystems)
+    ecosystem = rng.integers(0, spec.n_ecosystems, size=spec.n_items)
+    category = rng.integers(0, spec.n_categories, size=spec.n_items)
+
+    for i, node in enumerate(item_nodes):
+        eco = int(ecosystem[i])
+        kg.add_edge(node, brands[eco], "PRODUCED_BY")
+        kg.add_edge(node, categories[int(category[i])], "BELONGS_TO")
+        pool = pools[eco]
+        n_own = min(len(pool), int(rng.integers(2, 5)))
+        if n_own:
+            for f in rng.choice(pool, size=n_own, replace=False):
+                kg.add_edge(node, features[int(f)], "SUPPORT")
+        if rng.random() < 0.3:  # cross-ecosystem noise feature
+            kg.add_edge(
+                node, features[int(rng.integers(0, spec.n_features))], "SUPPORT"
+            )
+        if tags:
+            kg.add_edge(node, tags[int(rng.integers(0, spec.n_tags))], "TAGGED")
+        if venues:
+            kg.add_edge(
+                node, venues[int(rng.integers(0, spec.n_venues))], "SOLD_AT"
+            )
+    return kg, item_nodes, ecosystem, category
+
+
+def _build_network(spec: SyntheticSpec, rng: np.random.Generator):
+    if spec.network_kind == "community":
+        return community_network(
+            spec.n_users,
+            n_communities=max(2, spec.n_users // 40),
+            rng=rng,
+            mean_strength=spec.mean_strength,
+            directed=spec.directed,
+        )
+    if spec.network_kind == "scale_free":
+        return scale_free_network(
+            spec.n_users,
+            rng=rng,
+            mean_strength=spec.mean_strength,
+            directed=spec.directed,
+        )
+    return small_world_network(
+        spec.n_users, rng=rng, mean_strength=spec.mean_strength
+    )
+
+
+def _draw_importance(
+    spec: SyntheticSpec, rng: np.random.Generator
+) -> np.ndarray:
+    if spec.importance == "uniform":
+        return rng.uniform(0.0, 2.0 * spec.importance_mean, size=spec.n_items)
+    if spec.importance != "lognormal":
+        raise DatasetError(f"unknown importance law {spec.importance!r}")
+    raw = rng.lognormal(mean=0.0, sigma=0.75, size=spec.n_items)
+    return raw * (spec.importance_mean / raw.mean())
+
+
+def build_dataset(spec: SyntheticSpec) -> IMDPPInstance:
+    """Build a complete IMDPP instance from a spec (deterministic)."""
+    factory = RngFactory(spec.seed).child("dataset", spec.name)
+    kg, item_nodes, ecosystem, _ = _build_kg(spec, factory.stream("kg"))
+    network = _build_network(spec, factory.stream("network"))
+    relevance = RelevanceEngine(
+        kg, standard_metagraphs(spec.n_meta_complementary), item_nodes
+    )
+
+    rng = factory.stream("users")
+    base_preference = rng.beta(2.0, 5.0, size=(spec.n_users, spec.n_items))
+    affinity = rng.integers(0, spec.n_ecosystems, size=spec.n_users)
+    for user in range(spec.n_users):
+        boost = ecosystem == affinity[user]
+        base_preference[user, boost] = np.clip(
+            base_preference[user, boost] + 0.25, 0.0, 1.0
+        )
+
+    weights = initial_weights(
+        spec.n_users, relevance.n_meta, rng=factory.stream("weights")
+    )
+    importance = _draw_importance(spec, factory.stream("importance"))
+    costs = seed_costs(network, base_preference, scale=spec.cost_scale)
+
+    return IMDPPInstance(
+        network=network,
+        kg=kg,
+        relevance=relevance,
+        importance=importance,
+        base_preference=base_preference,
+        initial_weights=weights,
+        costs=costs,
+        budget=spec.budget,
+        n_promotions=spec.n_promotions,
+        dynamics=spec.dynamics,
+        name=spec.name,
+    )

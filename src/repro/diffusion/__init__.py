@@ -1,0 +1,14 @@
+"""Multi-promotion diffusion: trigger models, simulator, Monte Carlo."""
+
+from repro.diffusion.models import DiffusionModel, aggregated_influence
+from repro.diffusion.campaign import CampaignOutcome, CampaignSimulator
+from repro.diffusion.montecarlo import MonteCarloEstimate, SigmaEstimator
+
+__all__ = [
+    "DiffusionModel",
+    "aggregated_influence",
+    "CampaignOutcome",
+    "CampaignSimulator",
+    "MonteCarloEstimate",
+    "SigmaEstimator",
+]

@@ -1,0 +1,278 @@
+"""The multi-promotion diffusion simulator (Sec. III).
+
+One :class:`CampaignSimulator.run` plays a single random realization of
+a campaign: ``T`` promotions, each made of steps ``zeta_t = 0, 1, ...``.
+At ``zeta_t = 0`` the seeds of promotion ``t`` newly adopt their items;
+at each later step every user who newly adopted an item at the previous
+step promotes it to friends who have not adopted it, succeeding with
+``Pact(u', u) * Ppref(u, x)`` (IC) or by threshold crossing (LT), and
+each promotion event may additionally trigger *extra adoptions* of
+relevant items with ``Pext``.  All adoption decisions of a step are
+made against the previous step's perception state; the state then
+updates (weightings -> relevance -> preferences / influence) before the
+next step.  A promotion ends when a step produces no new adoption; the
+next promotion starts from the inherited state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.problem import IMDPPInstance, SeedGroup
+from repro.diffusion.models import DiffusionModel
+from repro.errors import SimulationError
+from repro.perception.state import PerceptionState
+
+__all__ = ["CampaignOutcome", "CampaignSimulator"]
+
+
+@dataclass
+class CampaignOutcome:
+    """Result of one simulated campaign realization.
+
+    Attributes
+    ----------
+    new_adoptions:
+        Boolean (n_users, n_items): adoptions that happened *during*
+        this run (seed self-adoptions included, inherited ones not).
+    importance:
+        Item importance vector (kept for restricted sigma queries).
+    sigma_by_promotion:
+        Importance-weighted new adoptions per promotion (1-based list
+        index 0 = promotion 1).
+    state:
+        Final perception state (supports Eq. (13) likelihoods and the
+        adaptive algorithm's observation step).
+    steps_run:
+        Total diffusion steps across all promotions.
+    """
+
+    new_adoptions: np.ndarray
+    importance: np.ndarray
+    sigma_by_promotion: list[float]
+    state: PerceptionState
+    steps_run: int
+
+    @property
+    def sigma(self) -> float:
+        """Importance-aware influence spread of this realization."""
+        return float(self.new_adoptions.sum(axis=0) @ self.importance)
+
+    def sigma_restricted(self, users: Iterable[int]) -> float:
+        """Spread counting only adopters inside ``users`` (sigma_tau)."""
+        index = np.fromiter(set(users), dtype=int)
+        if index.size == 0:
+            return 0.0
+        counts = self.new_adoptions[index].sum(axis=0)
+        return float(counts @ self.importance)
+
+    def adopters_of(self, item: int) -> int:
+        """Number of users who newly adopted ``item`` in this run."""
+        return int(self.new_adoptions[:, item].sum())
+
+
+class CampaignSimulator:
+    """Plays campaign realizations for one IMDPP instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    model:
+        Trigger model (IC by default, as in the paper's experiments).
+    max_steps_per_promotion:
+        Safety cap; the diffusion provably terminates (users cannot
+        re-adopt) but the cap bounds worst-case step counts.
+    extra_adoption_floor:
+        ``Pext`` values below this are skipped without drawing, which
+        prunes the O(items) inner loop where relevance is ~0.
+    """
+
+    def __init__(
+        self,
+        instance: IMDPPInstance,
+        model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+        max_steps_per_promotion: int = 200,
+        extra_adoption_floor: float = 1e-6,
+    ):
+        self.instance = instance
+        self.model = model
+        self.max_steps_per_promotion = int(max_steps_per_promotion)
+        self.extra_adoption_floor = float(extra_adoption_floor)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seed_group: SeedGroup,
+        rng: np.random.Generator,
+        until_promotion: int | None = None,
+        initial_state: PerceptionState | None = None,
+        start_promotion: int = 1,
+    ) -> CampaignOutcome:
+        """Simulate one realization.
+
+        Parameters
+        ----------
+        seed_group:
+            The seeds; promotions beyond ``until_promotion`` are
+            ignored (used by TDSI, which evaluates prefixes).
+        rng:
+            Source of all randomness for this realization.
+        until_promotion:
+            Last promotion to simulate (default: ``T``).
+        initial_state:
+            Resume from an existing state (adaptive IM); it is copied,
+            never mutated.
+        start_promotion:
+            First promotion to play (adaptive IM resumes mid-campaign).
+        """
+        instance = self.instance
+        last = until_promotion or instance.n_promotions
+        if last > instance.n_promotions:
+            raise SimulationError(
+                f"until_promotion {last} exceeds T={instance.n_promotions}"
+            )
+        state = (
+            initial_state.copy() if initial_state is not None
+            else instance.new_state()
+        )
+        new_adoptions = np.zeros(
+            (instance.n_users, instance.n_items), dtype=bool
+        )
+        sigma_by_promotion: list[float] = []
+        lt_thresholds: dict[tuple[int, int], float] = {}
+        steps_run = 0
+
+        for promotion in range(start_promotion, last + 1):
+            frontier = self._seed_step(
+                seed_group, promotion, state, new_adoptions
+            )
+            promotion_sigma = self._importance_of(frontier)
+            step = 0
+            while frontier and step < self.max_steps_per_promotion:
+                step += 1
+                steps_run += 1
+                adopted_now = self._diffusion_step(
+                    frontier, state, new_adoptions, rng, lt_thresholds
+                )
+                promotion_sigma += self._importance_of(adopted_now)
+                frontier = adopted_now
+            sigma_by_promotion.append(promotion_sigma)
+
+        return CampaignOutcome(
+            new_adoptions=new_adoptions,
+            importance=instance.importance,
+            sigma_by_promotion=sigma_by_promotion,
+            state=state,
+            steps_run=steps_run,
+        )
+
+    # ------------------------------------------------------------------
+    def _importance_of(self, adoptions: list[tuple[int, int]]) -> float:
+        return float(
+            sum(self.instance.importance[item] for _, item in adoptions)
+        )
+
+    def _seed_step(
+        self,
+        seed_group: SeedGroup,
+        promotion: int,
+        state: PerceptionState,
+        new_adoptions: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """``zeta_t = 0``: seeds newly adopt their promoted items."""
+        step_adoptions: dict[int, list[int]] = defaultdict(list)
+        frontier: list[tuple[int, int]] = []
+        for seed in seed_group.by_promotion(promotion):
+            if state.has_adopted(seed.user, seed.item):
+                continue  # cannot adopt the same item twice
+            if seed.item in step_adoptions[seed.user]:
+                continue
+            step_adoptions[seed.user].append(seed.item)
+            new_adoptions[seed.user, seed.item] = True
+            frontier.append((seed.user, seed.item))
+        state.apply_step_adoptions(step_adoptions)
+        return frontier
+
+    def _diffusion_step(
+        self,
+        frontier: list[tuple[int, int]],
+        state: PerceptionState,
+        new_adoptions: np.ndarray,
+        rng: np.random.Generator,
+        lt_thresholds: dict[tuple[int, int], float],
+    ) -> list[tuple[int, int]]:
+        """One influence-propagation step; returns the new frontier."""
+        step_adoptions: dict[int, set[int]] = defaultdict(set)
+        use_lt = self.model is DiffusionModel.LINEAR_THRESHOLD
+
+        for promoter, item in frontier:
+            for target in state.network.out_neighbors(promoter):
+                if state.has_adopted(target, item):
+                    continue
+                strength = state.influence(promoter, target)
+                if strength <= 0.0:
+                    continue
+                preference = state.preference_of(target, item)
+                adopted_item = False
+                if use_lt:
+                    adopted_item = self._lt_decision(
+                        target, item, state, rng, lt_thresholds
+                    )
+                else:
+                    adopted_item = rng.random() < strength * preference
+                if adopted_item:
+                    step_adoptions[target].add(item)
+                # Item associations: being *promoted* item may trigger
+                # extra adoptions of relevant items regardless of the
+                # decision on the promoted item itself (footnote 9).
+                extra = state.extra_adoption_probs(target, promoter, item)
+                candidates = np.flatnonzero(
+                    extra > self.extra_adoption_floor
+                )
+                for other in candidates:
+                    other = int(other)
+                    if other == item or state.has_adopted(target, other):
+                        continue
+                    if rng.random() < extra[other]:
+                        step_adoptions[target].add(other)
+
+        committed: list[tuple[int, int]] = []
+        commit_lists: dict[int, list[int]] = {}
+        for user, items in step_adoptions.items():
+            fresh = [i for i in sorted(items) if not state.has_adopted(user, i)]
+            if fresh:
+                commit_lists[user] = fresh
+                for item in fresh:
+                    new_adoptions[user, item] = True
+                    committed.append((user, item))
+        state.apply_step_adoptions(commit_lists)
+        return committed
+
+    def _lt_decision(
+        self,
+        user: int,
+        item: int,
+        state: PerceptionState,
+        rng: np.random.Generator,
+        thresholds: dict[tuple[int, int], float],
+    ) -> bool:
+        """LT rule: accumulated weighted influence crosses a threshold.
+
+        Thresholds are drawn once per (user, item) per realization, as
+        in the classical LT model; the preference gates the accumulated
+        mass so low-preference users need more adopting friends.
+        """
+        key = (user, item)
+        if key not in thresholds:
+            thresholds[key] = float(rng.random())
+        total = 0.0
+        for neighbour in state.network.in_neighbors(user):
+            if item in state.adopted[neighbour]:
+                total += state.influence(neighbour, user)
+        total = min(1.0, total) * state.preference_of(user, item)
+        return total >= thresholds[key]

@@ -1,0 +1,59 @@
+"""Trigger models (IC / LT) and the aggregated influence score AIS.
+
+The diffusion process of Sec. III is model-agnostic: a newly-adopting
+friend ``u'`` promotes item ``x`` to ``u`` and the adoption probability
+couples the influence strength with the preference,
+``Pact(u', u) * Ppref(u, x)``.  Under IC each such promotion is an
+independent coin; under LT a user adopts once the accumulated weighted
+influence of adopting friends crosses a personal threshold.
+
+``AIS(v, y, zeta)`` (footnote 31) is the aggregated probability that
+``y`` would be promoted to ``v`` in the *next* promotion — the
+ingredient of the likelihood ``pi`` in Eq. (13):
+
+* IC:  ``1 - prod_{v' in N_in(v), y in A(v')} (1 - Pact(v', v))``
+* LT:  ``sum_{v' in N_in(v), y in A(v')} Pact(v', v)`` (capped at 1)
+
+(The paper's IC formula prints the condition as ``y not in A(v')``;
+only in-neighbours that *have* adopted ``y`` can promote it, matching
+the LT line, so we read it as a typo and use ``y in A(v')``.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.perception.state import PerceptionState
+
+__all__ = ["DiffusionModel", "aggregated_influence"]
+
+
+class DiffusionModel(enum.Enum):
+    """Supported trigger models."""
+
+    INDEPENDENT_CASCADE = "IC"
+    LINEAR_THRESHOLD = "LT"
+
+
+def aggregated_influence(
+    state: PerceptionState,
+    model: DiffusionModel,
+    user: int,
+    item: int,
+) -> float:
+    """``AIS(user, item)`` under the current perception state."""
+    probability_none = 1.0
+    total = 0.0
+    for neighbour in state.network.in_neighbors(user):
+        if item not in state.adopted[neighbour]:
+            continue
+        strength = state.influence(neighbour, user)
+        if strength <= 0.0:
+            continue
+        if model is DiffusionModel.INDEPENDENT_CASCADE:
+            probability_none *= 1.0 - strength
+        else:
+            total += strength
+    if model is DiffusionModel.INDEPENDENT_CASCADE:
+        return 1.0 - probability_none
+    return min(1.0, total)

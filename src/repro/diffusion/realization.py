@@ -1,0 +1,109 @@
+"""Deterministic single-promotion realizations (Lemma 1's coin flips).
+
+The submodularity proof of Lemma 1 realizes the stochastic diffusion
+by flipping every edge coin up-front: influence coins
+``Pact(u', u) * Ppref(u, x)`` per (arc, item) and association coins
+``Pext(u, u', x, y)`` per (arc, item, item), all at their *initial*
+(frozen) values.  In a realized world the spread of a nominee set is a
+pure reachability union — a coverage function, hence submodular.
+
+:class:`FrozenRealization` materializes exactly that object: coins are
+derived from a hash of (seed, arc, items), so every coin is flipped
+once and the spread of *any* nominee set is evaluated against the same
+world — the property tests check Eq. (3) exactly, with no Monte-Carlo
+noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.problem import IMDPPInstance
+from repro.utils.rng import spawn_rng
+
+__all__ = ["FrozenRealization"]
+
+
+class FrozenRealization:
+    """One realized world of the frozen, single-promotion diffusion.
+
+    Parameters
+    ----------
+    instance:
+        Problem instance; its *initial* preferences/strengths are used
+        regardless of the dynamics settings (the realization is the
+        Lemma-1 regime by construction).
+    world_seed:
+        Identifies the world; two realizations with the same seed are
+        the same world.
+    """
+
+    def __init__(self, instance: IMDPPInstance, world_seed: int = 0):
+        self.instance = instance
+        self.world_seed = int(world_seed)
+        self._state = instance.frozen().new_state()
+        self._coins: dict[tuple, bool] = {}
+
+    # ------------------------------------------------------------------
+    def _coin(self, probability: float, *key: object) -> bool:
+        """Deterministic coin: same key -> same outcome."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        cached = self._coins.get(key)
+        if cached is None:
+            draw = spawn_rng(self.world_seed, *key).random()
+            cached = draw < probability
+            self._coins[key] = cached
+        return cached
+
+    def influence_live(self, source: int, target: int, item: int) -> bool:
+        """Is the (source -> target) arc live for ``item``?"""
+        p = self._state.influence(source, target) * self._state.preference_of(
+            target, item
+        )
+        return self._coin(p, "act", source, target, item)
+
+    def association_live(
+        self, source: int, target: int, item: int, other: int
+    ) -> bool:
+        """Does promoting ``item`` over the arc trigger ``other``?"""
+        probs = self._state.extra_adoption_probs(target, source, item)
+        return self._coin(float(probs[other]), "ext", source, target, item, other)
+
+    # ------------------------------------------------------------------
+    def adopted_pairs(
+        self, nominees: frozenset[tuple[int, int]]
+    ) -> set[tuple[int, int]]:
+        """All (user, item) adoptions reachable from the nominees."""
+        adopted: set[tuple[int, int]] = set()
+        queue: deque[tuple[int, int]] = deque()
+        for user, item in sorted(nominees):
+            if (user, item) not in adopted:
+                adopted.add((user, item))
+                queue.append((user, item))
+        network = self.instance.network
+        n_items = self.instance.n_items
+        while queue:
+            promoter, item = queue.popleft()
+            for target in network.out_neighbors(promoter):
+                if (target, item) not in adopted and self.influence_live(
+                    promoter, target, item
+                ):
+                    adopted.add((target, item))
+                    queue.append((target, item))
+                for other in range(n_items):
+                    if other == item or (target, other) in adopted:
+                        continue
+                    if self.association_live(promoter, target, item, other):
+                        adopted.add((target, other))
+                        queue.append((target, other))
+        return adopted
+
+    def spread(self, nominees: frozenset[tuple[int, int]]) -> float:
+        """Importance-weighted spread of a nominee set in this world."""
+        total = 0.0
+        for _, item in self.adopted_pairs(nominees):
+            total += float(self.instance.importance[item])
+        return total

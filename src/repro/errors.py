@@ -1,0 +1,43 @@
+"""Exception hierarchy for the IMDPP reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A knowledge-graph node/edge violates the declared schema."""
+
+
+class MetaGraphError(ReproError):
+    """A meta-graph definition is malformed or cannot be matched."""
+
+
+class GraphError(ReproError):
+    """A social-network or knowledge-graph operation received bad input."""
+
+
+class ProblemError(ReproError):
+    """An IMDPP problem instance is inconsistent (sizes, budget, T)."""
+
+
+class BudgetExceededError(ProblemError):
+    """A seed group's total cost exceeds the instance budget."""
+
+
+class SimulationError(ReproError):
+    """The diffusion simulator was driven into an invalid state."""
+
+
+class AlgorithmError(ReproError):
+    """A seeding algorithm received parameters it cannot honor."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset specification is invalid."""

@@ -1,0 +1,164 @@
+"""Experiment harness: run every algorithm under identical evaluation.
+
+Each figure in Sec. VI compares algorithms by the importance-aware
+influence of their seed groups; for fairness every algorithm's output
+is re-evaluated here with one shared Monte-Carlo estimator (common
+random numbers, paper-style M samples) regardless of what each
+algorithm used internally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (
+    BaselineResult,
+    run_bgrd,
+    run_drhga,
+    run_hag,
+    run_opt,
+    run_ps,
+)
+from repro.core.dysim import Dysim, DysimConfig
+from repro.core.problem import IMDPPInstance, SeedGroup
+from repro.diffusion.models import DiffusionModel
+from repro.diffusion.montecarlo import SigmaEstimator
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "ALGORITHMS",
+    "run_algorithm",
+    "evaluate_group",
+    "sweep",
+    "SweepRow",
+]
+
+
+def run_dysim(
+    instance: IMDPPInstance,
+    n_samples: int = 12,
+    seed: int = 0,
+    model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    **config_overrides,
+) -> BaselineResult:
+    """Adapter exposing Dysim through the baseline interface."""
+    config_kwargs = {
+        "n_samples_selection": n_samples,
+        "n_samples_inner": n_samples,
+        "model": model,
+        "seed": seed,
+        **config_overrides,  # may override the sample counts
+    }
+    config = DysimConfig(**config_kwargs)
+    started = time.perf_counter()
+    result = Dysim(instance, config).run()
+    return BaselineResult(
+        name="Dysim",
+        seed_group=result.seed_group,
+        sigma=result.sigma,
+        runtime_seconds=time.perf_counter() - started,
+        diagnostics={
+            "n_markets": len(result.markets),
+            "fallback": result.fallback_used,
+            "n_oracle_calls": result.n_oracle_calls,
+        },
+    )
+
+
+#: Algorithm registry used by the figure benchmarks.
+ALGORITHMS: dict[str, Callable[..., BaselineResult]] = {
+    "Dysim": run_dysim,
+    "BGRD": run_bgrd,
+    "HAG": run_hag,
+    "PS": run_ps,
+    "DRHGA": run_drhga,
+    "OPT": run_opt,
+}
+
+
+def run_algorithm(
+    name: str,
+    instance: IMDPPInstance,
+    n_samples: int = 12,
+    seed: int = 0,
+    **kwargs,
+) -> BaselineResult:
+    """Run one registered algorithm by figure label."""
+    if name not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[name](
+        instance, n_samples=n_samples, seed=seed, **kwargs
+    )
+
+
+def evaluate_group(
+    instance: IMDPPInstance,
+    seed_group: SeedGroup,
+    n_samples: int = 50,
+    seed: int = 12345,
+    model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+) -> float:
+    """Fair re-evaluation of any seed group (shared random worlds)."""
+    estimator = SigmaEstimator(
+        instance,
+        model=model,
+        n_samples=n_samples,
+        rng_factory=RngFactory(seed),
+    )
+    return estimator.sigma(seed_group)
+
+
+@dataclass
+class SweepRow:
+    """One cell of a figure: (algorithm, x-value) -> sigma, runtime."""
+
+    algorithm: str
+    x: object
+    sigma: float
+    runtime_seconds: float
+    n_seeds: int
+
+
+def sweep(
+    instances: dict[object, IMDPPInstance],
+    algorithms: list[str],
+    n_samples: int = 10,
+    eval_samples: int = 40,
+    seed: int = 0,
+    algorithm_kwargs: dict[str, dict] | None = None,
+) -> list[SweepRow]:
+    """Run algorithms across a parameter sweep and re-evaluate fairly.
+
+    ``instances`` maps the x-axis value (budget, T, ...) to the
+    instance built for it; the returned rows are exactly one figure's
+    series.
+    """
+    algorithm_kwargs = algorithm_kwargs or {}
+    rows: list[SweepRow] = []
+    for x, instance in instances.items():
+        for name in algorithms:
+            # Per-algorithm kwargs may override the shared defaults
+            # (e.g. OPT wants more Monte-Carlo samples than the rest).
+            kwargs = {
+                "n_samples": n_samples,
+                "seed": seed,
+                **algorithm_kwargs.get(name, {}),
+            }
+            result = run_algorithm(name, instance, **kwargs)
+            sigma = evaluate_group(
+                instance, result.seed_group, n_samples=eval_samples
+            )
+            rows.append(
+                SweepRow(
+                    algorithm=name,
+                    x=x,
+                    sigma=sigma,
+                    runtime_seconds=result.runtime_seconds,
+                    n_seeds=len(result.seed_group),
+                )
+            )
+    return rows

@@ -1,0 +1,68 @@
+"""Plain-text rendering of figure series and tables.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output aligned and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    rows: Iterable,
+    value_attr: str = "sigma",
+) -> str:
+    """Render sweep rows as one series block per algorithm.
+
+    ``rows`` are :class:`~repro.eval.harness.SweepRow`-like objects;
+    output mirrors a figure: x values as columns, algorithms as rows.
+    """
+    rows = list(rows)
+
+    def sort_key(x: object):
+        try:
+            return (0, float(x))  # numeric axes sort numerically
+        except (TypeError, ValueError):
+            return (1, str(x))
+
+    xs = sorted({row.x for row in rows}, key=sort_key)
+    algorithms = []
+    for row in rows:
+        if row.algorithm not in algorithms:
+            algorithms.append(row.algorithm)
+    table_rows = []
+    for algorithm in algorithms:
+        cells: list[object] = [algorithm]
+        for x in xs:
+            match = [
+                getattr(r, value_attr)
+                for r in rows
+                if r.algorithm == algorithm and r.x == x
+            ]
+            cells.append(f"{match[0]:.1f}" if match else "-")
+        table_rows.append(cells)
+    headers = [f"{title} | {x_label}"] + [str(x) for x in xs]
+    return format_table(headers, table_rows)

@@ -1,0 +1,24 @@
+"""Knowledge-graph substrate: typed HIN, meta-graphs, relevance.
+
+The paper models item relationships with a knowledge graph
+``G_KG = (V, E, Phi, Psi)`` (a heterogeneous information network with
+node-type map ``Phi`` and edge-type map ``Psi``) plus *meta-graphs* —
+small schemas over node types whose instances in the KG define the
+relevance ``s(x, y | m)`` between items (Section V-A(1)).
+"""
+
+from repro.kg.schema import EdgeType, NodeType, Schema
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.metagraph import MetaGraph, MetaPathLeg, Relationship
+from repro.kg.relevance import RelevanceEngine
+
+__all__ = [
+    "EdgeType",
+    "NodeType",
+    "Schema",
+    "KnowledgeGraph",
+    "MetaGraph",
+    "MetaPathLeg",
+    "Relationship",
+    "RelevanceEngine",
+]

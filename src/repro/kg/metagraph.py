@@ -1,0 +1,165 @@
+"""Meta-graph schemas and instance counting.
+
+A *meta-graph* (Fig. 1(b) in the paper) is a small schema over node
+types whose instances in the KG connect two ITEM endpoints.  We model a
+meta-graph as a set of *legs*, each leg being a meta-path from the item
+endpoint ``x`` to the item endpoint ``y`` through intermediate node
+types:
+
+* ``m1`` (two items SUPPORT a common FEATURE) is one leg
+  ``ITEM -SUPPORT-> FEATURE <-SUPPORT- ITEM``.
+* ``m3`` in Fig. 1(b) — a diamond requiring a shared FEATURE *and* a
+  shared BRAND — is two legs that must both be satisfied.
+
+The instance count ``c_m(x, y)`` is the number of subgraphs of the KG
+matching the schema with endpoints ``x`` and ``y``.  For a single leg
+this is the meta-path commuting-matrix count; for multiple legs the
+counts multiply (each combination of per-leg witnesses is one distinct
+instance), so ``C_m = hadamard-product over legs of (A_1 @ ... @ A_k)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from scipy import sparse
+
+from repro.errors import MetaGraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import NodeType
+
+__all__ = ["Relationship", "MetaPathLeg", "MetaGraph"]
+
+
+class Relationship(enum.Enum):
+    """Which item relationship a meta-graph describes (Sec. III)."""
+
+    COMPLEMENTARY = "complementary"
+    SUBSTITUTABLE = "substitutable"
+
+
+@dataclass(frozen=True)
+class MetaPathLeg:
+    """One meta-path leg ``ITEM -> t_1 -> ... -> t_k -> ITEM``.
+
+    Attributes
+    ----------
+    node_types:
+        The full node-type sequence including both ITEM endpoints,
+        e.g. ``("ITEM", "FEATURE", "ITEM")``.
+    edge_types:
+        Edge labels between consecutive node types; must have length
+        ``len(node_types) - 1``.
+    """
+
+    node_types: tuple[NodeType, ...]
+    edge_types: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.node_types) < 3:
+            raise MetaGraphError(
+                "a leg needs at least ITEM -> intermediate -> ITEM"
+            )
+        if self.node_types[0] != "ITEM" or self.node_types[-1] != "ITEM":
+            raise MetaGraphError("legs must start and end at ITEM")
+        if len(self.edge_types) != len(self.node_types) - 1:
+            raise MetaGraphError(
+                f"{len(self.node_types)} node types need "
+                f"{len(self.node_types) - 1} edge types, got "
+                f"{len(self.edge_types)}"
+            )
+
+    def count_matrix(self, kg: KnowledgeGraph) -> sparse.csr_matrix:
+        """Commuting matrix of path-instance counts between items."""
+        matrix: sparse.csr_matrix | None = None
+        for hop, edge_type in enumerate(self.edge_types):
+            step = kg.biadjacency(
+                self.node_types[hop], edge_type, self.node_types[hop + 1]
+            )
+            matrix = step if matrix is None else matrix @ step
+        assert matrix is not None
+        return sparse.csr_matrix(matrix)
+
+
+@dataclass(frozen=True)
+class MetaGraph:
+    """A named meta-graph: one or more legs that must all hold.
+
+    Examples
+    --------
+    >>> from repro.kg.metagraph import MetaGraph, MetaPathLeg, Relationship
+    >>> m1 = MetaGraph(
+    ...     name="m1-shared-feature",
+    ...     relationship=Relationship.COMPLEMENTARY,
+    ...     legs=(
+    ...         MetaPathLeg(("ITEM", "FEATURE", "ITEM"),
+    ...                     ("SUPPORT", "SUPPORT")),
+    ...     ),
+    ... )
+    """
+
+    name: str
+    relationship: Relationship
+    legs: tuple[MetaPathLeg, ...]
+
+    def __post_init__(self):
+        if not self.legs:
+            raise MetaGraphError(f"meta-graph {self.name!r} has no legs")
+
+    def instance_counts(self, kg: KnowledgeGraph) -> sparse.csr_matrix:
+        """Item-by-item instance count matrix ``C_m``.
+
+        Multi-leg meta-graphs multiply per-leg counts element-wise:
+        an instance is a choice of one witness path per leg.
+        """
+        counts: sparse.csr_matrix | None = None
+        for leg in self.legs:
+            leg_counts = leg.count_matrix(kg)
+            counts = (
+                leg_counts
+                if counts is None
+                else counts.multiply(leg_counts).tocsr()
+            )
+        assert counts is not None
+        return counts
+
+
+def shared_attribute_metagraph(
+    name: str,
+    relationship: Relationship,
+    attribute_type: NodeType,
+    edge_type: str,
+) -> MetaGraph:
+    """Convenience: the ``ITEM - attribute - ITEM`` one-leg schema."""
+    return MetaGraph(
+        name=name,
+        relationship=relationship,
+        legs=(
+            MetaPathLeg(
+                ("ITEM", attribute_type, "ITEM"), (edge_type, edge_type)
+            ),
+        ),
+    )
+
+
+def diamond_metagraph(
+    name: str,
+    relationship: Relationship,
+    attribute_types: tuple[NodeType, str] | list[tuple[NodeType, str]],
+) -> MetaGraph:
+    """Convenience: a diamond requiring several shared attributes.
+
+    ``attribute_types`` is a list of ``(node_type, edge_type)`` pairs;
+    each contributes one leg, all of which must be witnessed.
+    """
+    pairs = (
+        attribute_types
+        if isinstance(attribute_types, list)
+        else [attribute_types]
+    )
+    legs = tuple(
+        MetaPathLeg(("ITEM", node_type, "ITEM"), (edge_type, edge_type))
+        for node_type, edge_type in pairs
+    )
+    return MetaGraph(name=name, relationship=relationship, legs=legs)

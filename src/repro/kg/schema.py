@@ -1,0 +1,113 @@
+"""Node/edge type declarations for the knowledge graph.
+
+A heterogeneous information network needs a *schema*: the set of node
+types (ITEM, FEATURE, BRAND, ...) and the set of edge types together
+with the node types they may connect (SUPPORT: ITEM <-> FEATURE, ...).
+The schema is what meta-graphs are written against; validating edges
+at insertion time keeps meta-graph matching trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+__all__ = ["NodeType", "EdgeType", "Schema"]
+
+# Node types used throughout the reproduction.  The paper's figures use
+# ITEM / FEATURE / BRAND; the datasets add CATEGORY, TAG and VENUE to
+# reach the 6-type KGs of Yelp/Amazon (Table II).
+NodeType = str
+
+ITEM: NodeType = "ITEM"
+FEATURE: NodeType = "FEATURE"
+BRAND: NodeType = "BRAND"
+CATEGORY: NodeType = "CATEGORY"
+TAG: NodeType = "TAG"
+VENUE: NodeType = "VENUE"
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A typed, undirected KG edge class.
+
+    Attributes
+    ----------
+    name:
+        Edge label (the value of the paper's ``Psi`` map), e.g.
+        ``"SUPPORT"`` for (iPhone, Bluetooth).
+    source / target:
+        Node types the edge may connect.  KG edges are stored
+        undirected; ``source``/``target`` merely document intent.
+    """
+
+    name: str
+    source: NodeType
+    target: NodeType
+
+    def connects(self, type_a: NodeType, type_b: NodeType) -> bool:
+        """Return True if this edge type may join the two node types."""
+        return {self.source, self.target} == {type_a, type_b} or (
+            self.source == self.target == type_a == type_b
+        )
+
+
+@dataclass
+class Schema:
+    """Declared node and edge types of one knowledge graph.
+
+    Examples
+    --------
+    >>> schema = Schema.default()
+    >>> schema.edge_type("SUPPORT").connects("ITEM", "FEATURE")
+    True
+    """
+
+    node_types: set[NodeType] = field(default_factory=set)
+    edge_types: dict[str, EdgeType] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "Schema":
+        """Schema used by the synthetic datasets (superset of Fig. 1)."""
+        schema = cls()
+        for node_type in (ITEM, FEATURE, BRAND, CATEGORY, TAG, VENUE):
+            schema.add_node_type(node_type)
+        schema.add_edge_type(EdgeType("SUPPORT", ITEM, FEATURE))
+        schema.add_edge_type(EdgeType("PRODUCED_BY", ITEM, BRAND))
+        schema.add_edge_type(EdgeType("BELONGS_TO", ITEM, CATEGORY))
+        schema.add_edge_type(EdgeType("TAGGED", ITEM, TAG))
+        schema.add_edge_type(EdgeType("SOLD_AT", ITEM, VENUE))
+        return schema
+
+    def add_node_type(self, node_type: NodeType) -> None:
+        """Register a node type."""
+        self.node_types.add(node_type)
+
+    def add_edge_type(self, edge_type: EdgeType) -> None:
+        """Register an edge type; both endpoint types must exist."""
+        for endpoint in (edge_type.source, edge_type.target):
+            if endpoint not in self.node_types:
+                raise SchemaError(
+                    f"edge type {edge_type.name!r} references unknown "
+                    f"node type {endpoint!r}"
+                )
+        self.edge_types[edge_type.name] = edge_type
+
+    def edge_type(self, name: str) -> EdgeType:
+        """Look up an edge type by name."""
+        try:
+            return self.edge_types[name]
+        except KeyError:
+            raise SchemaError(f"unknown edge type {name!r}") from None
+
+    def validate_edge(
+        self, name: str, source_type: NodeType, target_type: NodeType
+    ) -> None:
+        """Raise :class:`SchemaError` unless the edge is schema-legal."""
+        edge_type = self.edge_type(name)
+        if not edge_type.connects(source_type, target_type):
+            raise SchemaError(
+                f"edge type {name!r} cannot connect "
+                f"{source_type!r} and {target_type!r}"
+            )

@@ -1,0 +1,24 @@
+"""Dynamic personal perception: the paper's four coupled factors.
+
+Section V-A defines, per user ``u`` and diffusion step ``zeta_t``:
+
+1. *Relevance measurement* — personal item network from meta-graph
+   weightings (:mod:`repro.perception.weights`,
+   :mod:`repro.perception.pin`).
+2. *Preference estimation* — ``Ppref(u, y, zeta_t)``
+   (:mod:`repro.perception.preference`).
+3. *Influence learning* — ``Pact(u, v, zeta_t)``
+   (:mod:`repro.perception.influence`).
+4. *Item associations* — ``Pext(u, u', x, y, zeta_t)``
+   (:mod:`repro.perception.association`).
+
+:class:`repro.perception.state.PerceptionState` carries the mutable
+per-campaign state and applies the update order the paper prescribes:
+adoptions -> weightings -> relevance -> preferences & influence.
+"""
+
+from repro.perception.params import DynamicsParams
+from repro.perception.state import PerceptionState
+from repro.perception.pin import PersonalItemNetwork
+
+__all__ = ["DynamicsParams", "PerceptionState", "PersonalItemNetwork"]

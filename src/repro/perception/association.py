@@ -1,0 +1,41 @@
+"""Item associations ``Pext(u, u', x, y, zeta_t)`` (Sec. V-A(4)).
+
+When ``u`` is *promoted* item ``x`` by ``u'``, relevant items ``y`` may
+be adopted directly — AirPods bought together with the iPhone — with a
+probability the paper derives from ``Pact(u', u)``, ``Ppref(u, x)`` and
+``u``'s personal item network:
+
+    Pext(u, u', x, y) = Pact(u', u) * Ppref(u, x) * r^C(u, x, y)
+
+Only the complementary relevance triggers extra adoptions (a promoted
+camera does not make you buy a second camera), and the extra adoption
+is independent of whether ``u`` actually adopts ``x`` itself
+(footnote 9 in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["extra_adoption_probabilities"]
+
+
+def extra_adoption_probabilities(
+    influence_strength: float,
+    preference_for_promoted: float,
+    complementary_row: np.ndarray,
+) -> np.ndarray:
+    """Vector of ``Pext`` over all items ``y`` for one promotion event.
+
+    Parameters
+    ----------
+    influence_strength:
+        Current ``Pact(u', u)``.
+    preference_for_promoted:
+        Current ``Ppref(u, x)`` for the promoted item ``x``.
+    complementary_row:
+        ``r^C(u, x, .)`` — the user's complementary relevance from the
+        promoted item to every other item.
+    """
+    scale = float(influence_strength) * float(preference_for_promoted)
+    return np.clip(scale * complementary_row, 0.0, 1.0)

@@ -1,0 +1,61 @@
+"""Hyper-parameters of the perception dynamics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_non_negative
+
+__all__ = ["DynamicsParams"]
+
+
+@dataclass(frozen=True)
+class DynamicsParams:
+    """Update-rule strengths for the four factors of Sec. V-A.
+
+    Attributes
+    ----------
+    eta:
+        Learning rate of the meta-graph weighting update (relevance
+        measurement).  0 freezes personal perceptions.
+    beta:
+        Cross-elasticity strength: how much an adopted complement
+        (substitute) raises (lowers) preference for related items.
+    gamma:
+        Homophily strength: how much co-adoption similarity raises
+        influence strength between friends.
+    association_scale:
+        Global damping of the extra-adoption probability ``Pext``.
+        Raw ``Pact * Ppref * r^C`` compounds across the many promotion
+        events a user receives; the scale keeps the expected number of
+        association-driven adoptions per event realistic (< 1).
+    min_preference / min_influence:
+        Floors applied after updates so probabilities never collapse
+        to exactly zero mid-campaign (matches the paper's assumption
+        ``Pminpref, Pminact > 0`` in Theorem 5).
+    """
+
+    eta: float = 0.5
+    beta: float = 0.45
+    gamma: float = 0.2
+    association_scale: float = 0.2
+    min_preference: float = 0.0
+    min_influence: float = 0.0
+
+    def __post_init__(self):
+        check_non_negative(self.eta, "eta")
+        check_non_negative(self.beta, "beta")
+        check_non_negative(self.gamma, "gamma")
+        check_fraction(self.association_scale, "association_scale")
+        check_fraction(self.min_preference, "min_preference")
+        check_fraction(self.min_influence, "min_influence")
+
+    @classmethod
+    def frozen(cls) -> "DynamicsParams":
+        """Parameters that disable all dynamics.
+
+        Under frozen dynamics the importance-aware influence function
+        is submodular (Lemma 1); nominee selection (MCP) and the OPT
+        brute force both evaluate candidates in this regime.
+        """
+        return cls(eta=0.0, beta=0.0, gamma=0.0)

@@ -1,0 +1,69 @@
+"""Personal item networks ``G_PIN(u, zeta_t)``.
+
+A user's personal item network (Fig. 1(c)/(d)) is the item graph whose
+edges carry that user's *personal* complementary and substitutable
+relevance — the weighted combination of per-meta-graph relevance with
+the user's current weightings.  It is a *view* over the perception
+state, not a copy: reading it always reflects the latest weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.metagraph import Relationship
+from repro.kg.relevance import RelevanceEngine
+
+__all__ = ["PersonalItemNetwork"]
+
+
+@dataclass
+class PersonalItemNetwork:
+    """Snapshot of one user's perceived item relationships.
+
+    Attributes
+    ----------
+    complementary:
+        (n_items, n_items) matrix ``r^C(u, x, y)``.
+    substitutable:
+        (n_items, n_items) matrix ``r^S(u, x, y)``.
+    """
+
+    complementary: np.ndarray
+    substitutable: np.ndarray
+
+    @classmethod
+    def from_weights(
+        cls, relevance: RelevanceEngine, weights: np.ndarray
+    ) -> "PersonalItemNetwork":
+        """Build the network for one user's weighting vector."""
+        return cls(
+            complementary=relevance.combine(
+                weights, Relationship.COMPLEMENTARY
+            ),
+            substitutable=relevance.combine(
+                weights, Relationship.SUBSTITUTABLE
+            ),
+        )
+
+    def edges(self, threshold: float = 0.0) -> list[tuple[int, int, str, float]]:
+        """List (x, y, kind, relevance) edges above ``threshold``.
+
+        ``kind`` is ``"C"`` or ``"S"``; pairs are reported once with
+        ``x < y`` since relevance is symmetric.
+        """
+        result = []
+        n = self.complementary.shape[0]
+        for x in range(n):
+            for y in range(x + 1, n):
+                if self.complementary[x, y] > threshold:
+                    result.append((x, y, "C", float(self.complementary[x, y])))
+                if self.substitutable[x, y] > threshold:
+                    result.append((x, y, "S", float(self.substitutable[x, y])))
+        return result
+
+    def net_relevance(self) -> np.ndarray:
+        """``r^C - r^S`` — the signed relationship strength."""
+        return self.complementary - self.substitutable

@@ -1,0 +1,219 @@
+"""Mutable per-campaign perception state.
+
+One :class:`PerceptionState` instance carries, for every user, the
+adoption set ``A(u, zeta_t)``, the meta-graph weightings
+``Wmeta(u, ., zeta_t)`` and the derived caches, and applies the update
+order the diffusion process prescribes (Sec. III): all adoption
+decisions of a step are made against the *previous* step's state, then
+the four factors update together at the end of the step via
+:meth:`apply_step_adoptions`.
+
+The state is copied once per Monte-Carlo run, so the copy path is kept
+cheap: dense arrays are copied, per-user accumulators only exist for
+users who adopted something.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.metagraph import Relationship
+from repro.kg.relevance import RelevanceEngine
+from repro.perception.association import extra_adoption_probabilities
+from repro.perception.influence import adoption_similarity, influence_strength
+from repro.perception.params import DynamicsParams
+from repro.perception.pin import PersonalItemNetwork
+from repro.perception.preference import preference_vector
+from repro.perception.weights import update_weights, weight_evidence
+from repro.social.network import SocialNetwork
+
+__all__ = ["PerceptionState"]
+
+
+class PerceptionState:
+    """Dynamic perception state of all users during one campaign.
+
+    Parameters
+    ----------
+    network:
+        Social network supplying base influence strengths.
+    relevance:
+        Precomputed per-meta-graph relevance matrices.
+    base_preference:
+        (n_users, n_items) initial preferences.
+    initial_weights:
+        (n_users, n_meta) initial meta-graph weightings.
+    params:
+        Dynamics hyper-parameters; ``DynamicsParams.frozen()`` disables
+        all updates (the regime of Lemma 1).
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        relevance: RelevanceEngine,
+        base_preference: np.ndarray,
+        initial_weights: np.ndarray,
+        params: DynamicsParams,
+    ):
+        self.network = network
+        self.relevance = relevance
+        self.base_preference = np.asarray(base_preference, dtype=float)
+        self.params = params
+        self.n_users = network.n_users
+        self.n_items = relevance.n_items
+        self.weights = np.array(initial_weights, dtype=float, copy=True)
+        self.adopted: list[set[int]] = [set() for _ in range(self.n_users)]
+        # accumulated[m, y] = sum over adopted a of s(a, y | m); lazily
+        # allocated per user on first adoption.
+        self._accumulated: dict[int, np.ndarray] = {}
+        self._preference_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "PerceptionState":
+        """Independent deep copy (one per Monte-Carlo run)."""
+        clone = PerceptionState.__new__(PerceptionState)
+        clone.network = self.network
+        clone.relevance = self.relevance
+        clone.base_preference = self.base_preference
+        clone.params = self.params
+        clone.n_users = self.n_users
+        clone.n_items = self.n_items
+        clone.weights = self.weights.copy()
+        clone.adopted = [set(items) for items in self.adopted]
+        clone._accumulated = {
+            user: acc.copy() for user, acc in self._accumulated.items()
+        }
+        clone._preference_cache = {}
+        return clone
+
+    # ------------------------------------------------------------------
+    # reads (always reflect the state at the end of the last step)
+    # ------------------------------------------------------------------
+    def has_adopted(self, user: int, item: int) -> bool:
+        """True if ``user`` already adopted ``item``."""
+        return item in self.adopted[user]
+
+    def adoption_set(self, user: int) -> set[int]:
+        """``A(u, zeta_t)`` — copy of the user's adoption set."""
+        return set(self.adopted[user])
+
+    def preference(self, user: int) -> np.ndarray:
+        """``Ppref(user, ., zeta_t)`` over all items (cached)."""
+        cached = self._preference_cache.get(user)
+        if cached is not None:
+            return cached
+        accumulated = self._accumulated.get(user)
+        if accumulated is None or self.params.beta == 0.0:
+            vector = np.clip(
+                self.base_preference[user], self.params.min_preference, 1.0
+            )
+        else:
+            vector = preference_vector(
+                self.base_preference[user],
+                self.weights[user],
+                accumulated,
+                self.relevance.complementary_index,
+                self.relevance.substitutable_index,
+                self.params.beta,
+                self.params.min_preference,
+            )
+        self._preference_cache[user] = vector
+        return vector
+
+    def preference_of(self, user: int, item: int) -> float:
+        """``Ppref(user, item, zeta_t)``."""
+        return float(self.preference(user)[item])
+
+    def influence(self, source: int, target: int) -> float:
+        """``Pact(source, target, zeta_t)``."""
+        base = self.network.base_strength(source, target)
+        if base <= 0.0:
+            return 0.0
+        if self.params.gamma == 0.0:
+            return max(self.params.min_influence, base)
+        similarity = adoption_similarity(
+            self.adopted[source],
+            self.adopted[target],
+            self.weights[source],
+            self.weights[target],
+        )
+        return influence_strength(
+            base, similarity, self.params.gamma, self.params.min_influence
+        )
+
+    def complementary_row(self, user: int, item: int) -> np.ndarray:
+        """``r^C(user, item, .)`` under the user's current weights."""
+        index = self.relevance.complementary_index
+        if index.size == 0:
+            return np.zeros(self.n_items)
+        row = np.tensordot(
+            self.weights[user][index],
+            self.relevance.matrices[index, item, :],
+            axes=1,
+        )
+        return np.clip(row, 0.0, 1.0)
+
+    def extra_adoption_probs(
+        self, user: int, promoter: int, item: int
+    ) -> np.ndarray:
+        """``Pext(user, promoter, item, .)`` over all items."""
+        if self.params.association_scale == 0.0:
+            return np.zeros(self.n_items)
+        return self.params.association_scale * extra_adoption_probabilities(
+            self.influence(promoter, user),
+            self.preference_of(user, item),
+            self.complementary_row(user, item),
+        )
+
+    def personal_item_network(self, user: int) -> PersonalItemNetwork:
+        """Snapshot ``G_PIN(user, zeta_t)``."""
+        return PersonalItemNetwork.from_weights(
+            self.relevance, self.weights[user]
+        )
+
+    # ------------------------------------------------------------------
+    # writes (end of a diffusion step)
+    # ------------------------------------------------------------------
+    def apply_step_adoptions(self, adoptions: dict[int, list[int]]) -> None:
+        """Commit one step's new adoptions and update perceptions.
+
+        ``adoptions`` maps user -> list of items that user newly
+        adopted during the step.  For each adopting user, in order:
+        the meta-graph weightings update from the evidence connecting
+        history and new items (relevance measurement), then the
+        accumulated relevance gains the new items' rows (which feeds
+        preference estimation), and caches are invalidated so the next
+        step reads fresh ``Ppref``/``Pact``.
+        """
+        for user, new_items in adoptions.items():
+            if not new_items:
+                continue
+            history = self.adopted[user]
+            if self.params.eta > 0.0:
+                evidence = weight_evidence(
+                    self.relevance, history, list(new_items)
+                )
+                self.weights[user] = update_weights(
+                    self.weights[user], evidence, self.params.eta
+                )
+            accumulated = self._accumulated.get(user)
+            if accumulated is None:
+                accumulated = np.zeros(
+                    (self.relevance.n_meta, self.n_items)
+                )
+                self._accumulated[user] = accumulated
+            for item in new_items:
+                if item not in history:
+                    accumulated += self.relevance.matrices[:, item, :]
+                    history.add(item)
+            self._preference_cache.pop(user, None)
+
+    def mark_adopted(self, user: int, item: int) -> bool:
+        """Directly record an adoption (used for seeding at zeta=0).
+
+        Returns False if the user had already adopted the item.
+        Perception updates still happen through
+        :meth:`apply_step_adoptions`; this only guards duplicates.
+        """
+        return item not in self.adopted[user]

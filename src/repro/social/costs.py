@@ -1,0 +1,62 @@
+"""Seed hiring costs ``c_{u,x}``.
+
+Following the paper's setup (Sec. VI-A, after [3], [67]): the cost of
+hiring user ``u`` to promote item ``x`` is proportional to ``u``'s
+out-degree and inversely related to ``u``'s initial preference for
+``x`` — influential users, and users who do not like the item, demand
+more incentive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemError
+from repro.social.network import SocialNetwork
+
+__all__ = ["seed_costs"]
+
+
+def seed_costs(
+    network: SocialNetwork,
+    base_preference: np.ndarray,
+    scale: float = 1.0,
+    min_preference: float = 0.05,
+    min_cost: float = 1.0,
+) -> np.ndarray:
+    """Compute the (n_users, n_items) cost matrix.
+
+    ``cost(u, x) = max(min_cost, scale * (1 + out_degree(u)) /
+    max(min_preference, Ppref(u, x, 0)))``.
+
+    Parameters
+    ----------
+    network:
+        Social network (supplies out-degrees).
+    base_preference:
+        Initial preferences, shape (n_users, n_items), entries in [0,1].
+    scale:
+        Global multiplier; choose it so the experiment budgets select a
+        realistic number of seeds.
+    min_preference:
+        Floor preventing division blow-ups for indifferent users.
+    min_cost:
+        Floor so no seed is free (the hardness construction's zero-cost
+        nodes are a proof device, not a modelling choice).
+    """
+    base_preference = np.asarray(base_preference, dtype=float)
+    if base_preference.ndim != 2:
+        raise ProblemError("base_preference must be 2-D (users x items)")
+    if base_preference.shape[0] != network.n_users:
+        raise ProblemError(
+            f"base_preference has {base_preference.shape[0]} rows but the "
+            f"network has {network.n_users} users"
+        )
+    if scale <= 0:
+        raise ProblemError(f"scale must be positive, got {scale}")
+    out_degrees = np.array(
+        [network.out_degree(u) for u in network.users()], dtype=float
+    )
+    denom = np.maximum(base_preference, min_preference)
+    costs = scale * (1.0 + out_degrees)[:, None] / denom
+    return np.maximum(costs, min_cost)

@@ -1,0 +1,58 @@
+"""Social-distance helpers used by nominee clustering (TMI)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.social.network import SocialNetwork
+
+__all__ = ["bfs_hops", "pairwise_social_distance"]
+
+
+def bfs_hops(
+    network: SocialNetwork, source: int, max_hops: int = 6
+) -> dict[int, int]:
+    """Hop distances from ``source`` treating arcs as undirected.
+
+    Social *closeness* for clustering ignores arc direction: two users
+    who influence each other in either direction are close.
+    """
+    distances = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if depth >= max_hops:
+            continue
+        neighbours = set(network.out_neighbors(node)) | set(
+            network.in_neighbors(node)
+        )
+        for neighbour in neighbours:
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                queue.append(neighbour)
+    return distances
+
+
+def pairwise_social_distance(
+    network: SocialNetwork, users: list[int], max_hops: int = 6
+) -> np.ndarray:
+    """Symmetric hop-distance matrix among ``users``.
+
+    Unreachable pairs get ``max_hops + 1`` (farther than anything
+    reachable), keeping the matrix finite for clustering.
+    """
+    n = len(users)
+    matrix = np.full((n, n), float(max_hops + 1))
+    np.fill_diagonal(matrix, 0.0)
+    position = {user: i for i, user in enumerate(users)}
+    for i, user in enumerate(users):
+        hops = bfs_hops(network, user, max_hops=max_hops)
+        for other, distance in hops.items():
+            j = position.get(other)
+            if j is not None:
+                matrix[i, j] = min(matrix[i, j], float(distance))
+                matrix[j, i] = matrix[i, j]
+    return matrix

@@ -1,0 +1,78 @@
+"""Maximum Influence Out-Arborescence (MIOA) regions.
+
+TMI (Sec. IV-B) grows each target market from its nominees' users with
+MIOA [23]: the region of nodes reachable from a source with maximum
+influence-path probability at least ``theta_path``.  The maximum
+influence path maximizes the product of arc probabilities, which is a
+shortest path under lengths ``-log(p)`` — a plain Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterable
+
+from repro.errors import GraphError
+from repro.social.network import SocialNetwork
+
+__all__ = ["mioa_region", "mioa_union"]
+
+
+def mioa_region(
+    network: SocialNetwork,
+    source: int,
+    theta_path: float = 1.0 / 320.0,
+    strength: Callable[[int, int], float] | None = None,
+) -> dict[int, float]:
+    """Return {user: max-influence-path probability} for one source.
+
+    Parameters
+    ----------
+    network:
+        The social network.
+    source:
+        Root user; always included with probability 1.
+    theta_path:
+        Path-probability threshold; 1/320 is the MIA default [23].
+    strength:
+        Optional override for arc strengths (e.g. the *current*
+        ``Pact`` during a campaign instead of the base strengths).
+    """
+    if not 0.0 < theta_path <= 1.0:
+        raise GraphError(f"theta_path must be in (0, 1], got {theta_path}")
+    get_strength = strength or network.base_strength
+    cutoff = -math.log(theta_path)
+    # Dijkstra on lengths -log(p); dist <= cutoff <=> path prob >= theta.
+    distances: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbour in network.out_neighbors(node):
+            p = get_strength(node, neighbour)
+            if p <= 0.0:
+                continue
+            candidate = dist - math.log(p)
+            if candidate > cutoff:
+                continue
+            if candidate < distances.get(neighbour, math.inf):
+                distances[neighbour] = candidate
+                heapq.heappush(heap, (candidate, neighbour))
+    return {node: math.exp(-dist) for node, dist in distances.items()}
+
+
+def mioa_union(
+    network: SocialNetwork,
+    sources: Iterable[int],
+    theta_path: float = 1.0 / 320.0,
+    strength: Callable[[int, int], float] | None = None,
+) -> set[int]:
+    """Union of MIOA regions of several sources (a target market)."""
+    region: set[int] = set()
+    for source in sources:
+        region.update(mioa_region(network, source, theta_path, strength))
+    return region

@@ -1,0 +1,172 @@
+"""The social network ``G_SN = (V, E)`` with influence strengths.
+
+Users are integers ``0 .. n_users-1``.  Edges are directed and carry
+the *initial* influence strength ``Pact(u, v, 0)``; the perception
+layer (Sec. V-A(3)) adds a dynamic, similarity-driven component on top
+during diffusion.  Undirected friendships (Douban/Gowalla/Yelp in
+Table II) are stored as two directed arcs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["SocialNetwork"]
+
+
+class SocialNetwork:
+    """Directed influence graph over integer users.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users; ids are ``0 .. n_users-1``.
+    directed:
+        If False, :meth:`add_edge` inserts both arc directions.
+
+    Examples
+    --------
+    >>> net = SocialNetwork(3)
+    >>> net.add_edge(0, 1, 0.5)
+    >>> net.out_neighbors(0)
+    {1: 0.5}
+    """
+
+    def __init__(self, n_users: int, directed: bool = True):
+        if n_users <= 0:
+            raise GraphError(f"n_users must be positive, got {n_users}")
+        self.n_users = int(n_users)
+        self.directed = bool(directed)
+        self._out: list[dict[int, float]] = [dict() for _ in range(n_users)]
+        self._in: list[dict[int, float]] = [dict() for _ in range(n_users)]
+        self._n_arcs = 0
+
+    # ------------------------------------------------------------------
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.n_users:
+            raise GraphError(f"unknown user {user!r}")
+
+    def add_edge(self, source: int, target: int, strength: float) -> None:
+        """Add an influence arc; mirrored when the network is undirected."""
+        self._check_user(source)
+        self._check_user(target)
+        if source == target:
+            raise GraphError("self-influence arcs are not allowed")
+        if not 0.0 <= strength <= 1.0:
+            raise GraphError(
+                f"influence strength must be in [0, 1], got {strength}"
+            )
+        pairs = [(source, target)]
+        if not self.directed:
+            pairs.append((target, source))
+        for u, v in pairs:
+            if v not in self._out[u]:
+                self._n_arcs += 1
+            self._out[u][v] = float(strength)
+            self._in[v][u] = float(strength)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_arcs(self) -> int:
+        """Number of directed arcs stored."""
+        return self._n_arcs
+
+    @property
+    def n_friendships(self) -> int:
+        """Friendship count as reported in Table II.
+
+        For undirected networks each friendship is one stored arc pair;
+        for directed networks it is simply the arc count.
+        """
+        return self._n_arcs // 2 if not self.directed else self._n_arcs
+
+    def users(self) -> range:
+        """Iterate over all user ids."""
+        return range(self.n_users)
+
+    def out_neighbors(self, user: int) -> dict[int, float]:
+        """Mapping neighbour -> base strength for arcs leaving ``user``."""
+        self._check_user(user)
+        return dict(self._out[user])
+
+    def in_neighbors(self, user: int) -> dict[int, float]:
+        """Mapping neighbour -> base strength for arcs entering ``user``."""
+        self._check_user(user)
+        return dict(self._in[user])
+
+    def out_degree(self, user: int) -> int:
+        """Number of arcs leaving ``user``."""
+        self._check_user(user)
+        return len(self._out[user])
+
+    def base_strength(self, source: int, target: int) -> float:
+        """Initial ``Pact(source, target, 0)``; 0.0 if no arc exists."""
+        self._check_user(source)
+        self._check_user(target)
+        return self._out[source].get(target, 0.0)
+
+    def arcs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over all (source, target, strength) arcs."""
+        for source, targets in enumerate(self._out):
+            for target, strength in targets.items():
+                yield source, target, strength
+
+    def average_strength(self) -> float:
+        """Average initial influence strength (a Table II statistic)."""
+        if self._n_arcs == 0:
+            return 0.0
+        total = sum(strength for _, _, strength in self.arcs())
+        return total / self._n_arcs
+
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int, max_hops: int | None = None) -> dict[int, int]:
+        """Hop distances from ``source`` along out-arcs (BFS)."""
+        self._check_user(source)
+        distances = {source: 0}
+        queue: deque[int] = deque([source])
+        while queue:
+            node = queue.popleft()
+            depth = distances[node]
+            if max_hops is not None and depth >= max_hops:
+                continue
+            for neighbour in self._out[node]:
+                if neighbour not in distances:
+                    distances[neighbour] = depth + 1
+                    queue.append(neighbour)
+        return distances
+
+    def subgraph_diameter(self, users: Iterable[int], cap: int = 8) -> int:
+        """Hop diameter of the induced subgraph, capped for tractability.
+
+        Used as ``d_tau`` in Eq. (1): the item-impact propagation depth
+        of a target market.  Unreachable pairs are ignored (markets are
+        grown by MIOA and are usually, but not provably, connected).
+        """
+        members = set(users)
+        for user in members:
+            self._check_user(user)
+        diameter = 0
+        for source in members:
+            distances = {source: 0}
+            queue: deque[int] = deque([source])
+            while queue:
+                node = queue.popleft()
+                depth = distances[node]
+                if depth >= cap:
+                    continue
+                for neighbour in self._out[node]:
+                    if neighbour in members and neighbour not in distances:
+                        distances[neighbour] = depth + 1
+                        queue.append(neighbour)
+            if distances:
+                diameter = max(diameter, max(distances.values()))
+        return max(diameter, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        return f"SocialNetwork({self.n_users} users, {self._n_arcs} arcs, {kind})"

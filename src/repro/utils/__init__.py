@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG streams, validation, small math."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_matrix",
+]

@@ -1,0 +1,67 @@
+"""Deterministic random-number management.
+
+Monte Carlo estimation of the influence spread (Definition 1 in the
+paper) must be reproducible: the same seed group evaluated twice inside
+one algorithm run has to see the same random world, otherwise greedy
+marginal gains become noise.  All randomness in this package flows
+through :class:`RngFactory`, which hands out independent, named
+substreams derived from one root seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "spawn_rng"]
+
+
+def _stable_hash(*parts: object) -> int:
+    """Hash arbitrary parts into a 64-bit integer, stable across runs."""
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode("utf-8"), digest_size=8
+    )
+    return int.from_bytes(digest.digest(), "big")
+
+
+def spawn_rng(seed: int, *context: object) -> np.random.Generator:
+    """Return a generator seeded by ``seed`` mixed with ``context``.
+
+    Two calls with the same arguments return identically-seeded
+    generators; changing any context element decorrelates the stream.
+    """
+    return np.random.default_rng(_stable_hash(seed, *context))
+
+
+class RngFactory:
+    """Factory for named, independent random substreams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Every substream is derived deterministically from
+        it, so a whole experiment is replayable from this one integer.
+
+    Examples
+    --------
+    >>> factory = RngFactory(7)
+    >>> a = factory.stream("diffusion", 0)
+    >>> b = factory.stream("diffusion", 0)
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def stream(self, *context: object) -> np.random.Generator:
+        """Return a fresh generator for the given context tuple."""
+        return spawn_rng(self.seed, *context)
+
+    def child(self, *context: object) -> "RngFactory":
+        """Return a factory whose streams are decorrelated from ours."""
+        return RngFactory(_stable_hash(self.seed, "child", *context))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self.seed})"

@@ -1,0 +1,49 @@
+"""Input validation helpers shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemError
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_matrix",
+]
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ProblemError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    value = float(value)
+    if value <= 0.0:
+        raise ProblemError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    value = float(value)
+    if value < 0.0:
+        raise ProblemError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Validate that every entry of ``matrix`` lies in [0, 1]."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.size and (matrix.min() < 0.0 or matrix.max() > 1.0):
+        raise ProblemError(
+            f"{name} entries must be in [0, 1]; range is "
+            f"[{matrix.min():.4f}, {matrix.max():.4f}]"
+        )
+    return matrix

@@ -1,0 +1,79 @@
+"""Tests for the baseline algorithms (shared behavioural contract)."""
+
+import pytest
+
+from repro.baselines import (
+    run_bgrd,
+    run_celf_greedy,
+    run_degree,
+    run_drhga,
+    run_hag,
+    run_ps,
+    run_random,
+)
+
+from tests.conftest import build_tiny_instance
+
+RUNNERS = {
+    "BGRD": run_bgrd,
+    "HAG": run_hag,
+    "PS": run_ps,
+    "DRHGA": run_drhga,
+    "CELF": run_celf_greedy,
+    "Degree": run_degree,
+    "Random": run_random,
+}
+
+
+@pytest.fixture
+def instance():
+    return build_tiny_instance(budget=20.0, n_promotions=2)
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+class TestContract:
+    def test_budget_feasible(self, instance, name):
+        result = RUNNERS[name](instance, n_samples=5, seed=0)
+        instance.check_budget(result.seed_group)
+
+    def test_timings_within_horizon(self, instance, name):
+        result = RUNNERS[name](instance, n_samples=5, seed=0)
+        for seed in result.seed_group:
+            assert 1 <= seed.promotion <= instance.n_promotions
+
+    def test_name_and_runtime(self, instance, name):
+        result = RUNNERS[name](instance, n_samples=5, seed=0)
+        assert result.name == name
+        assert result.runtime_seconds >= 0.0
+
+    def test_deterministic(self, instance, name):
+        a = RUNNERS[name](instance, n_samples=5, seed=7)
+        b = RUNNERS[name](instance, n_samples=5, seed=7)
+        assert list(a.seed_group) == list(b.seed_group)
+
+
+class TestCharacter:
+    def test_bgrd_promotes_bundles(self, instance):
+        result = run_bgrd(instance, n_samples=5, seed=0, bundle_size=2)
+        # every chosen user promotes exactly their bundle
+        by_user = {}
+        for seed in result.seed_group:
+            by_user.setdefault(seed.user, set()).add(seed.item)
+        for items in by_user.values():
+            assert len(items) == 2
+
+    def test_drhga_item_diversity(self, instance):
+        result = run_drhga(instance, n_samples=5, seed=0)
+        if len(result.seed_group) >= 2:
+            assert len(result.seed_group.items()) >= 2
+
+    def test_ps_runs_fast_relative_to_hag(self, instance):
+        ps = run_ps(instance, n_samples=5, seed=0)
+        hag = run_hag(instance, n_samples=5, seed=0)
+        assert ps.runtime_seconds <= hag.runtime_seconds * 2
+
+    def test_random_spends_budget(self, instance):
+        result = run_random(instance, n_samples=5, seed=0)
+        spent = instance.group_cost(result.seed_group)
+        # 4 affordable seeds at cost 5 under budget 20
+        assert spent == pytest.approx(20.0)

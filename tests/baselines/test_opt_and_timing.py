@@ -1,0 +1,70 @@
+"""Tests for OPT brute force and CR-Greedy timing assignment."""
+
+import pytest
+
+from repro.baselines import assign_timings, run_opt
+from repro.baselines.common import make_estimators
+from repro.core.dysim import Dysim, DysimConfig
+from repro.core.problem import SeedGroup
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture
+def instance():
+    return build_tiny_instance(budget=15.0, n_promotions=2)
+
+
+class TestOpt:
+    def test_budget_feasible(self, instance):
+        result = run_opt(instance, n_samples=6, universe_size=4, max_seeds=2)
+        instance.check_budget(result.seed_group)
+        assert result.diagnostics["n_evaluated"] > 0
+
+    def test_opt_beats_or_matches_single_heuristics(self, instance):
+        # OPT searched the same universe any singleton lives in, so it
+        # is at least as good as every singleton it enumerated.
+        result = run_opt(instance, n_samples=6, universe_size=4, max_seeds=2)
+        _, dynamic = make_estimators(instance, 6, 0)
+        for seed in result.seed_group:
+            single = dynamic.sigma(SeedGroup([seed]))
+            assert result.sigma >= single - 1e-9
+
+    def test_opt_near_dysim_on_tiny_instance(self, instance):
+        """Fig. 8 shape: Dysim is close to OPT (here: within 2x)."""
+        opt = run_opt(instance, n_samples=8, universe_size=6, max_seeds=3)
+        dysim = Dysim(
+            instance,
+            DysimConfig(n_samples_selection=8, n_samples_inner=8,
+                        candidate_pool=16),
+        ).run()
+        _, dynamic = make_estimators(instance, 20, 99)
+        sigma_opt = dynamic.sigma(opt.seed_group)
+        sigma_dysim = dynamic.sigma(dysim.seed_group)
+        assert sigma_dysim >= 0.5 * sigma_opt
+
+
+class TestAssignTimings:
+    def test_all_picks_scheduled(self, instance):
+        frozen, _ = make_estimators(instance, 5, 0)
+        picks = [(0, 0), (3, 1), (5, 2)]
+        scheduled = assign_timings(instance, picks, frozen)
+        assert len(scheduled) == 3
+        assert {s.nominee for s in scheduled} == set(picks)
+
+    def test_timings_in_range(self, instance):
+        frozen, _ = make_estimators(instance, 5, 0)
+        scheduled = assign_timings(instance, [(0, 0), (1, 1)], frozen)
+        for seed in scheduled:
+            assert 1 <= seed.promotion <= instance.n_promotions
+
+    def test_round_cap(self, instance):
+        frozen, _ = make_estimators(instance, 5, 0)
+        scheduled = assign_timings(
+            instance, [(0, 0)], frozen, max_rounds_searched=1
+        )
+        assert all(seed.promotion == 1 for seed in scheduled)
+
+    def test_empty_picks(self, instance):
+        frozen, _ = make_estimators(instance, 5, 0)
+        assert len(assign_timings(instance, [], frozen)) == 0

@@ -1,0 +1,65 @@
+"""Additional tests for the adaptive variant's internal policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.dysim import AdaptiveDysim, DysimConfig
+from repro.core.dysim.clustering import average_relevance_matrices
+
+from tests.conftest import build_tiny_instance
+
+FAST = dict(n_samples_selection=4, n_samples_inner=4, candidate_pool=10)
+
+
+@pytest.fixture
+def adaptive():
+    instance = build_tiny_instance(budget=25.0, n_promotions=3)
+    return AdaptiveDysim(instance, DysimConfig(**FAST)), instance
+
+
+class TestAntagonismPolicy:
+    def test_substitutable_nearby_nominee_rejected(self, adaptive):
+        algo, instance = adaptive
+        avg_c, avg_s = average_relevance_matrices(instance)
+        # items 0 and 3 are substitutable in the tiny KG; users 0 and 1
+        # are adjacent (within hop_threshold).
+        assert algo._is_antagonistic((1, 3), [(0, 0)], avg_s, avg_c)
+
+    def test_complementary_nearby_nominee_allowed(self, adaptive):
+        algo, instance = adaptive
+        avg_c, avg_s = average_relevance_matrices(instance)
+        # items 0 and 1 are complementary.
+        assert not algo._is_antagonistic((1, 1), [(0, 0)], avg_s, avg_c)
+
+    def test_same_item_never_antagonistic(self, adaptive):
+        algo, instance = adaptive
+        avg_c, avg_s = average_relevance_matrices(instance)
+        assert not algo._is_antagonistic((1, 0), [(0, 0)], avg_s, avg_c)
+
+
+class TestRoundPlanning:
+    def test_no_duplicate_nominees_across_rounds(self, adaptive):
+        algo, instance = adaptive
+        result = algo.run(world_seed=2)
+        nominees = [seed.nominee for seed in result.seed_group]
+        assert len(nominees) == len(set(nominees))
+
+    def test_realized_spread_consistency(self, adaptive):
+        algo, instance = adaptive
+        result = algo.run(world_seed=3)
+        assert result.sigma_realized == pytest.approx(
+            sum(result.sigma_by_promotion)
+        )
+
+    def test_heuristic_rank_prefers_high_preference(self, adaptive):
+        algo, instance = adaptive
+        state = instance.new_state()
+        pool = [(0, 0), (0, 1), (0, 2), (0, 3)]
+        ranked = algo._heuristic_rank(pool, state)
+        scores = [
+            state.preference_of(0, item)
+            * instance.importance[item]
+            / instance.cost(0, item)
+            for _, item in ranked
+        ]
+        assert scores == sorted(scores, reverse=True)

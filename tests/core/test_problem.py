@@ -1,0 +1,140 @@
+"""Tests for IMDPPInstance, Seed and SeedGroup."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.errors import BudgetExceededError, ProblemError
+
+from tests.conftest import build_tiny_instance
+
+
+class TestSeed:
+    def test_promotion_one_based(self):
+        with pytest.raises(ProblemError):
+            Seed(0, 0, 0)
+
+    def test_nominee(self):
+        assert Seed(3, 1, 2).nominee == (3, 1)
+
+    def test_ordering_and_equality(self):
+        assert Seed(0, 0, 1) == Seed(0, 0, 1)
+        assert Seed(0, 0, 1) < Seed(1, 0, 1)
+
+
+class TestSeedGroup:
+    def test_duplicates_ignored(self):
+        group = SeedGroup([Seed(0, 0, 1), Seed(0, 0, 1)])
+        assert len(group) == 1
+
+    def test_latest_promotion(self):
+        group = SeedGroup([Seed(0, 0, 1), Seed(1, 1, 3)])
+        assert group.latest_promotion == 3
+        assert SeedGroup().latest_promotion == 0
+
+    def test_by_promotion(self):
+        group = SeedGroup([Seed(0, 0, 1), Seed(1, 1, 2), Seed(2, 0, 1)])
+        assert len(group.by_promotion(1)) == 2
+        assert len(group.by_promotion(3)) == 0
+
+    def test_with_seed_non_mutating(self):
+        group = SeedGroup([Seed(0, 0, 1)])
+        extended = group.with_seed(Seed(1, 1, 1))
+        assert len(group) == 1
+        assert len(extended) == 2
+
+    def test_union_preserves_order(self):
+        a = SeedGroup([Seed(0, 0, 1)])
+        b = SeedGroup([Seed(1, 1, 2)])
+        merged = a.union(b)
+        assert list(merged)[0] == Seed(0, 0, 1)
+
+    def test_nominees_and_items(self):
+        group = SeedGroup([Seed(0, 0, 1), Seed(0, 0, 2), Seed(1, 2, 1)])
+        assert group.nominees() == {(0, 0), (1, 2)}
+        assert group.items() == {0, 2}
+
+    def test_contains(self):
+        group = SeedGroup([Seed(0, 0, 1)])
+        assert Seed(0, 0, 1) in group
+        assert Seed(0, 0, 2) not in group
+
+
+class TestInstanceValidation:
+    def test_valid_instance_builds(self):
+        instance = build_tiny_instance()
+        assert instance.n_users == 6
+        assert instance.n_items == 4
+
+    def test_importance_shape(self):
+        with pytest.raises(ProblemError):
+            _rebuild(importance=np.ones(3))
+
+    def test_negative_importance(self):
+        bad = np.ones(4)
+        bad[0] = -1
+        with pytest.raises(ProblemError):
+            _rebuild(importance=bad)
+
+    def test_preference_shape(self):
+        with pytest.raises(ProblemError):
+            _rebuild(base_preference=np.zeros((5, 4)))
+
+    def test_costs_positive(self):
+        with pytest.raises(ProblemError):
+            _rebuild(costs=np.zeros((6, 4)))
+
+    def test_budget_positive(self):
+        with pytest.raises(ProblemError):
+            _rebuild(budget=0.0)
+
+    def test_promotions_positive(self):
+        with pytest.raises(ProblemError):
+            _rebuild(n_promotions=0)
+
+
+class TestInstanceOperations:
+    def test_group_cost(self):
+        instance = build_tiny_instance()
+        group = SeedGroup([Seed(0, 0, 1), Seed(1, 1, 2)])
+        assert instance.group_cost(group) == pytest.approx(10.0)
+
+    def test_check_budget(self):
+        instance = build_tiny_instance(budget=8.0)
+        instance.check_budget(SeedGroup([Seed(0, 0, 1)]))
+        with pytest.raises(BudgetExceededError):
+            instance.check_budget(
+                SeedGroup([Seed(0, 0, 1), Seed(1, 1, 1)])
+            )
+
+    def test_frozen_clone(self):
+        frozen = build_tiny_instance().frozen()
+        assert frozen.dynamics.eta == 0.0
+        assert frozen.dynamics.beta == 0.0
+        assert frozen.dynamics.gamma == 0.0
+
+    def test_with_budget_and_promotions(self):
+        instance = build_tiny_instance()
+        assert instance.with_budget(99.0).budget == 99.0
+        assert instance.with_promotions(7).n_promotions == 7
+        # originals untouched
+        assert instance.budget == 30.0
+        assert instance.n_promotions == 2
+
+
+def _rebuild(**overrides):
+    """Rebuild the tiny instance with one field overridden."""
+    base = build_tiny_instance()
+    kwargs = dict(
+        network=base.network,
+        kg=base.kg,
+        relevance=base.relevance,
+        importance=base.importance,
+        base_preference=base.base_preference,
+        initial_weights=base.initial_weights,
+        costs=base.costs,
+        budget=base.budget,
+        n_promotions=base.n_promotions,
+    )
+    kwargs.update(overrides)
+    return IMDPPInstance(**kwargs)

@@ -1,0 +1,201 @@
+"""Tests for the submodular-maximization toolkit on synthetic oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.submodular import (
+    budgeted_lazy_greedy,
+    composite_smk,
+    double_greedy_usm,
+)
+from repro.errors import AlgorithmError
+
+
+def coverage_oracle(sets_by_element):
+    """Weighted-coverage submodular function from element -> covered."""
+
+    def oracle(selection: frozenset) -> float:
+        covered = set()
+        for element in selection:
+            covered |= sets_by_element[element]
+        return float(len(covered))
+
+    return oracle
+
+
+@pytest.fixture
+def coverage():
+    return coverage_oracle(
+        {
+            "a": {1, 2, 3},
+            "b": {3, 4},
+            "c": {5},
+            "d": {1, 2, 3, 4, 5},
+            "e": set(),
+        }
+    )
+
+
+class TestBudgetedLazyGreedy:
+    def test_picks_best_ratio_first(self, coverage):
+        result = budgeted_lazy_greedy(
+            ["a", "b", "c", "d", "e"],
+            coverage,
+            cost=lambda e: {"a": 3, "b": 2, "c": 1, "d": 10, "e": 1}[e],
+            budget=6,
+        )
+        # d covers everything but costs 10 > budget; greedy assembles
+        # from the cheap ones.
+        assert result.selected[0] in ("a", "c")
+        assert result.value == coverage(frozenset(result.selected))
+        assert result.total_cost <= 6
+
+    def test_respects_budget(self, coverage):
+        result = budgeted_lazy_greedy(
+            ["a", "b", "c"], coverage, cost=lambda e: 4, budget=5
+        )
+        assert len(result.selected) == 1
+
+    def test_violating_variant_stops_after_overflow(self, coverage):
+        result = budgeted_lazy_greedy(
+            ["a", "b", "c"],
+            coverage,
+            cost=lambda e: 4,
+            budget=5,
+            allow_budget_violation_by_last=True,
+        )
+        assert len(result.selected) == 2  # second pick violates, then stop
+        assert result.total_cost > 5
+
+    def test_rejects_bad_budget(self, coverage):
+        with pytest.raises(AlgorithmError):
+            budgeted_lazy_greedy(["a"], coverage, lambda e: 1, budget=0)
+
+    def test_rejects_bad_cost(self, coverage):
+        with pytest.raises(AlgorithmError):
+            budgeted_lazy_greedy(["a"], coverage, lambda e: 0, budget=5)
+
+    def test_matches_naive_greedy_on_random_instances(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            universe = list(range(8))
+            sets = {
+                e: set(rng.choice(20, size=rng.integers(1, 6), replace=False))
+                for e in universe
+            }
+            costs = {e: float(rng.uniform(1, 3)) for e in universe}
+            oracle = coverage_oracle(sets)
+            lazy = budgeted_lazy_greedy(
+                universe, oracle, lambda e: costs[e], budget=6
+            )
+            naive = _naive_greedy(universe, oracle, costs, budget=6)
+            assert lazy.selected == naive
+
+    def test_lemma3_half_bound_on_random_instances(self):
+        # f(S) >= f(S u C)/2 for the just-violating greedy, any feasible C.
+        rng = np.random.default_rng(7)
+        universe = list(range(10))
+        sets = {
+            e: set(rng.choice(25, size=rng.integers(1, 7), replace=False))
+            for e in universe
+        }
+        costs = {e: float(rng.uniform(1, 2.5)) for e in universe}
+        oracle = coverage_oracle(sets)
+        budget = 5.0
+        greedy = budgeted_lazy_greedy(
+            universe,
+            oracle,
+            lambda e: costs[e],
+            budget=budget,
+            allow_budget_violation_by_last=True,
+        )
+        greedy_set = frozenset(greedy.selected)
+        for trial in range(30):
+            candidate = [
+                e
+                for e in universe
+                if e not in greedy_set and rng.random() < 0.4
+            ]
+            while sum(costs[e] for e in candidate) > budget:
+                candidate.pop()
+            union_value = oracle(greedy_set | frozenset(candidate))
+            assert greedy.value >= union_value / 2 - 1e-9
+
+
+class TestDoubleGreedyUSM:
+    def test_recovers_nonneg_modular_maximum(self):
+        values = {"a": 3.0, "b": -2.0, "c": 1.0}
+
+        def oracle(selection: frozenset) -> float:
+            return sum(values[e] for e in selection)
+
+        result = double_greedy_usm(["a", "b", "c"], oracle)
+        assert set(result.selected) == {"a", "c"}
+
+    def test_half_of_best_singleton_on_random_cut(self):
+        rng = np.random.default_rng(3)
+        n = 8
+        weights = rng.uniform(0, 1, size=(n, n))
+        weights = (weights + weights.T) / 2
+        np.fill_diagonal(weights, 0.0)
+
+        def cut(selection: frozenset) -> float:
+            inside = list(selection)
+            outside = [v for v in range(n) if v not in selection]
+            return float(sum(weights[i, j] for i in inside for j in outside))
+
+        result = double_greedy_usm(
+            list(range(n)), cut, rng=np.random.default_rng(0)
+        )
+        best_single = max(cut(frozenset([v])) for v in range(n))
+        assert result.value >= best_single / 2 - 1e-9
+
+
+class TestCompositeSMK:
+    def test_feasible_output(self, coverage):
+        costs = {"a": 3, "b": 2, "c": 1, "d": 10, "e": 1}
+        result = composite_smk(
+            ["a", "b", "c", "d", "e"],
+            coverage,
+            cost=lambda e: costs[e],
+            budget=6,
+        )
+        assert sum(costs[e] for e in result.selected) <= 6
+        assert result.value >= 4  # a + c covers {1,2,3,5}
+
+    def test_at_least_best_singleton(self):
+        rng = np.random.default_rng(11)
+        universe = list(range(9))
+        sets = {
+            e: set(rng.choice(30, size=rng.integers(1, 8), replace=False))
+            for e in universe
+        }
+        costs = {e: float(rng.uniform(1, 3)) for e in universe}
+        oracle = coverage_oracle(sets)
+        result = composite_smk(
+            universe, oracle, lambda e: costs[e], budget=4.0
+        )
+        best_single = max(
+            oracle(frozenset([e])) for e in universe if costs[e] <= 4.0
+        )
+        assert result.value >= best_single - 1e-9
+
+
+def _naive_greedy(universe, oracle, costs, budget):
+    selected = []
+    spent = 0.0
+    current = oracle(frozenset())
+    while True:
+        best, best_ratio, best_value = None, 0.0, current
+        for e in universe:
+            if e in selected or spent + costs[e] > budget:
+                continue
+            value = oracle(frozenset(selected) | {e})
+            ratio = (value - current) / costs[e]
+            if ratio > best_ratio:
+                best, best_ratio, best_value = e, ratio, value
+        if best is None:
+            return selected
+        selected.append(best)
+        spent += costs[best]
+        current = best_value

@@ -1,0 +1,137 @@
+"""Tests for dataset generation: synthetic analogues + course study."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    build_course_classes,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.data.courses import COURSE_CLASSES, COURSE_NAMES
+from repro.data.registry import dataset_spec
+from repro.data.synthetic import SyntheticSpec, build_dataset, standard_metagraphs
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_all_presets_build(self):
+        for name in DATASET_NAMES:
+            instance = load_dataset(name, scale=0.2)
+            assert instance.n_users >= 10
+            assert instance.n_items >= 4
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("netflix")
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            load_dataset("yelp", scale=0.0)
+
+    def test_overrides_flow_through(self):
+        instance = load_dataset("yelp", budget=42.0, n_promotions=7)
+        assert instance.budget == 42.0
+        assert instance.n_promotions == 7
+
+    def test_spec_lookup(self):
+        spec = dataset_spec("amazon")
+        assert spec.directed
+        assert spec.network_kind == "scale_free"
+
+
+class TestSyntheticProperties:
+    @pytest.fixture(scope="class")
+    def yelp(self):
+        return load_dataset("yelp")
+
+    def test_deterministic(self):
+        a = load_dataset("yelp", scale=0.3)
+        b = load_dataset("yelp", scale=0.3)
+        assert np.allclose(a.base_preference, b.base_preference)
+        assert set(a.network.arcs()) == set(b.network.arcs())
+
+    def test_probabilities_in_range(self, yelp):
+        assert yelp.base_preference.min() >= 0.0
+        assert yelp.base_preference.max() <= 1.0
+        assert yelp.initial_weights.min() >= 0.0
+        assert yelp.initial_weights.max() <= 1.0
+
+    def test_costs_positive(self, yelp):
+        assert yelp.costs.min() > 0
+
+    def test_mean_strength_near_table2(self, yelp):
+        stats = dataset_statistics(yelp)
+        assert 0.05 < stats["avg_initial_influence"] < 0.25
+
+    def test_importance_mean_matches_spec(self, yelp):
+        assert yelp.importance.mean() == pytest.approx(1.6, rel=0.01)
+
+    def test_gowalla_uniform_importance(self):
+        gowalla = load_dataset("gowalla", scale=0.3)
+        assert gowalla.importance.max() <= 1.0 + 1e-9  # 2 * 0.5 mean
+
+    def test_relevance_has_both_relationships(self, yelp):
+        rel = yelp.relevance
+        c = rel.matrices[rel.complementary_index].sum()
+        s = rel.matrices[rel.substitutable_index].sum()
+        assert c > 0 and s > 0
+
+    def test_metagraph_count_sweep(self):
+        for k in (1, 2, 3):
+            assert len(standard_metagraphs(k)) == k + 1
+        instance = load_dataset("yelp", scale=0.2, n_meta_complementary=1)
+        assert instance.relevance.n_meta == 2
+
+    def test_spec_validation(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(name="x", n_users=1)
+        with pytest.raises(DatasetError):
+            SyntheticSpec(name="x", n_meta_complementary=4)
+        with pytest.raises(DatasetError):
+            SyntheticSpec(name="x", network_kind="mesh")
+
+    def test_table2_statistics_keys(self, yelp):
+        stats = dataset_statistics(yelp)
+        for key in (
+            "n_node_types", "n_users", "n_items", "n_friendships",
+            "directed_friendship", "avg_initial_influence",
+            "avg_item_importance",
+        ):
+            assert key in stats
+
+
+class TestCourseStudy:
+    @pytest.fixture(scope="class")
+    def classes(self):
+        return build_course_classes()
+
+    def test_five_classes_with_table3_sizes(self, classes):
+        assert sorted(classes) == ["A", "B", "C", "D", "E"]
+        for spec in COURSE_CLASSES:
+            assert classes[spec.class_id].n_users == spec.n_users
+
+    def test_edge_counts_match_table3(self, classes):
+        for spec in COURSE_CLASSES:
+            network = classes[spec.class_id].network
+            # stored arcs = 2 * friendships; Table III counts edges
+            assert network.n_arcs == 2 * (spec.n_edges // 2)
+
+    def test_thirty_courses(self, classes):
+        assert len(COURSE_NAMES) == 30
+        for instance in classes.values():
+            assert instance.n_items == 30
+
+    def test_default_campaign_setup(self, classes):
+        for instance in classes.values():
+            assert instance.budget == 50.0
+            assert instance.n_promotions == 3
+
+    def test_uniform_importance(self, classes):
+        for instance in classes.values():
+            assert (instance.importance == 1.0).all()
+
+    def test_shared_kg_across_classes(self, classes):
+        kgs = {id(instance.kg) for instance in classes.values()}
+        assert len(kgs) == 1

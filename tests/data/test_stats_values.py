@@ -1,0 +1,56 @@
+"""Tests for concrete Table II statistic values of the presets."""
+
+import pytest
+
+from repro.data import dataset_statistics, load_dataset
+
+
+@pytest.fixture(scope="module")
+def all_stats():
+    return {
+        name: dataset_statistics(load_dataset(name))
+        for name in ("yelp", "gowalla", "amazon", "douban")
+    }
+
+
+class TestTable2Signatures:
+    def test_node_type_counts(self, all_stats):
+        # Yelp/Amazon have 6 node types in Table II; the analogues use
+        # the full 6-type schema everywhere.
+        for stats in all_stats.values():
+            assert stats["n_node_types"] == 6
+
+    def test_directedness_pattern(self, all_stats):
+        assert all_stats["amazon"]["directed_friendship"]
+        for name in ("yelp", "gowalla", "douban"):
+            assert not all_stats[name]["directed_friendship"]
+
+    def test_strength_ordering(self, all_stats):
+        # Table II: yelp 0.121 > gowalla 0.092 > amazon 0.050 > douban 0.011
+        assert (
+            all_stats["yelp"]["avg_initial_influence"]
+            > all_stats["gowalla"]["avg_initial_influence"]
+            > all_stats["douban"]["avg_initial_influence"]
+        )
+
+    def test_user_count_ordering(self, all_stats):
+        assert (
+            all_stats["yelp"]["n_users"]
+            < all_stats["gowalla"]["n_users"]
+            < all_stats["amazon"]["n_users"]
+            < all_stats["douban"]["n_users"]
+        )
+
+    def test_importance_means(self, all_stats):
+        assert all_stats["yelp"]["avg_item_importance"] == pytest.approx(
+            1.6, abs=0.05
+        )
+        assert all_stats["douban"]["avg_item_importance"] == pytest.approx(
+            2.1, abs=0.05
+        )
+        # Gowalla's uniform law has mean 0.5 in expectation (random draw).
+        assert 0.2 < all_stats["gowalla"]["avg_item_importance"] < 0.8
+
+    def test_friendships_positive(self, all_stats):
+        for stats in all_stats.values():
+            assert stats["n_friendships"] > 0

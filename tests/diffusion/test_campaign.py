@@ -1,0 +1,139 @@
+"""Tests for the multi-promotion campaign simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Seed, SeedGroup
+from repro.diffusion.campaign import CampaignSimulator
+from repro.diffusion.models import DiffusionModel
+from repro.errors import SimulationError
+from repro.utils.rng import spawn_rng
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture
+def instance():
+    return build_tiny_instance()
+
+
+@pytest.fixture
+def simulator(instance):
+    return CampaignSimulator(instance)
+
+
+class TestSeeding:
+    def test_seed_adopts_at_step_zero(self, simulator):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1)]), spawn_rng(0, "t")
+        )
+        assert outcome.new_adoptions[0, 0]
+        assert outcome.state.has_adopted(0, 0)
+
+    def test_empty_group_no_adoptions(self, simulator):
+        outcome = simulator.run(SeedGroup(), spawn_rng(0, "t"))
+        assert outcome.sigma == 0.0
+        assert not outcome.new_adoptions.any()
+
+    def test_seed_in_later_promotion_only(self, simulator, instance):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 2)]), spawn_rng(0, "t"), until_promotion=1
+        )
+        assert not outcome.new_adoptions.any()
+
+    def test_duplicate_seed_counts_once(self, simulator):
+        group = SeedGroup([Seed(0, 0, 1), Seed(0, 0, 2)])
+        outcome = simulator.run(group, spawn_rng(0, "t"))
+        assert int(outcome.new_adoptions[0].sum()) >= 1
+        # seed's own adoption of item 0 can only happen once
+        assert outcome.new_adoptions[0, 0]
+
+    def test_until_promotion_bounds(self, simulator, instance):
+        with pytest.raises(SimulationError):
+            simulator.run(
+                SeedGroup(), spawn_rng(0, "t"),
+                until_promotion=instance.n_promotions + 1,
+            )
+
+
+class TestDiffusion:
+    def test_adoptions_monotone_within_run(self, simulator):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1)]), spawn_rng(1, "t")
+        )
+        # every recorded new adoption is present in the final state
+        users, items = np.nonzero(outcome.new_adoptions)
+        for user, item in zip(users, items):
+            assert outcome.state.has_adopted(int(user), int(item))
+
+    def test_sigma_matches_adoption_matrix(self, simulator, instance):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1), Seed(3, 1, 2)]), spawn_rng(2, "t")
+        )
+        expected = float(
+            outcome.new_adoptions.sum(axis=0) @ instance.importance
+        )
+        assert outcome.sigma == pytest.approx(expected)
+        assert outcome.sigma == pytest.approx(sum(outcome.sigma_by_promotion))
+
+    def test_sigma_restricted(self, simulator):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1)]), spawn_rng(3, "t")
+        )
+        full = outcome.sigma
+        assert outcome.sigma_restricted(range(6)) == pytest.approx(full)
+        assert outcome.sigma_restricted([]) == 0.0
+        assert outcome.sigma_restricted([0]) <= full
+
+    def test_reproducible_with_same_rng(self, simulator):
+        group = SeedGroup([Seed(0, 0, 1), Seed(2, 2, 1)])
+        a = simulator.run(group, spawn_rng(5, "t"))
+        b = simulator.run(group, spawn_rng(5, "t"))
+        assert (a.new_adoptions == b.new_adoptions).all()
+        assert a.sigma == b.sigma
+
+    def test_initial_state_not_mutated(self, simulator, instance):
+        state = instance.new_state()
+        state.apply_step_adoptions({1: [2]})
+        adopted_before = state.adoption_set(1)
+        simulator.run(
+            SeedGroup([Seed(0, 0, 1)]), spawn_rng(6, "t"),
+            initial_state=state,
+        )
+        assert state.adoption_set(1) == adopted_before
+
+    def test_inherited_adoptions_not_counted(self, simulator, instance):
+        state = instance.new_state()
+        state.apply_step_adoptions({1: [2]})
+        outcome = simulator.run(
+            SeedGroup(), spawn_rng(7, "t"), initial_state=state
+        )
+        assert not outcome.new_adoptions[1, 2]
+
+    def test_start_promotion_resume(self, simulator):
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 2)]), spawn_rng(8, "t"),
+            start_promotion=2,
+        )
+        assert outcome.new_adoptions[0, 0]
+        assert len(outcome.sigma_by_promotion) == 1
+
+
+class TestLinearThreshold:
+    def test_lt_runs_and_counts(self, instance):
+        simulator = CampaignSimulator(
+            instance, model=DiffusionModel.LINEAR_THRESHOLD
+        )
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1), Seed(1, 0, 1)]), spawn_rng(9, "t")
+        )
+        assert outcome.sigma >= 2 * instance.importance[0] - 1e-9
+
+    def test_lt_reproducible(self, instance):
+        simulator = CampaignSimulator(
+            instance, model=DiffusionModel.LINEAR_THRESHOLD
+        )
+        group = SeedGroup([Seed(0, 0, 1)])
+        a = simulator.run(group, spawn_rng(10, "t"))
+        b = simulator.run(group, spawn_rng(10, "t"))
+        assert a.sigma == b.sigma

@@ -1,0 +1,60 @@
+"""Tests for deterministic realizations (the Lemma 1 construction)."""
+
+import pytest
+
+from repro.diffusion.realization import FrozenRealization
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture
+def realization():
+    return FrozenRealization(build_tiny_instance(), world_seed=3)
+
+
+class TestDeterminism:
+    def test_coins_stable(self, realization):
+        a = realization.influence_live(0, 1, 0)
+        b = realization.influence_live(0, 1, 0)
+        assert a == b
+
+    def test_same_world_same_spread(self):
+        instance = build_tiny_instance()
+        a = FrozenRealization(instance, world_seed=5)
+        b = FrozenRealization(instance, world_seed=5)
+        nominees = frozenset({(0, 0), (2, 1)})
+        assert a.spread(nominees) == b.spread(nominees)
+
+    def test_different_worlds_differ_somewhere(self):
+        instance = build_tiny_instance()
+        nominees = frozenset({(0, 0)})
+        spreads = {
+            FrozenRealization(instance, world_seed=w).spread(nominees)
+            for w in range(12)
+        }
+        assert len(spreads) > 1
+
+
+class TestCoverageProperties:
+    def test_nominee_always_adopted(self, realization):
+        pairs = realization.adopted_pairs(frozenset({(1, 2)}))
+        assert (1, 2) in pairs
+
+    def test_monotone_in_nominees(self, realization):
+        small = realization.adopted_pairs(frozenset({(0, 0)}))
+        large = realization.adopted_pairs(frozenset({(0, 0), (3, 1)}))
+        assert small <= large
+
+    def test_submodular_in_this_world(self, realization):
+        # f(Y + e) - f(Y) <= f(X + e) - f(X) for X subset of Y.
+        x = frozenset({(0, 0)})
+        y = frozenset({(0, 0), (3, 1)})
+        e = (5, 2)
+        gain_small = realization.spread(x | {e}) - realization.spread(x)
+        gain_large = realization.spread(y | {e}) - realization.spread(y)
+        assert gain_large <= gain_small + 1e-9
+
+    def test_spread_weighted_by_importance(self, realization):
+        instance = realization.instance
+        spread = realization.spread(frozenset({(0, 3)}))
+        assert spread >= instance.importance[3] - 1e-9

@@ -1,0 +1,92 @@
+"""Tests for campaign metrics and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.problem import Seed, SeedGroup
+from repro.eval.metrics import campaign_report
+
+from tests.conftest import build_tiny_instance
+
+
+class TestCampaignReport:
+    @pytest.fixture
+    def report(self):
+        instance = build_tiny_instance()
+        group = SeedGroup([Seed(0, 0, 1), Seed(3, 1, 2)])
+        return campaign_report(instance, group, n_samples=15, seed=1), instance
+
+    def test_sigma_positive(self, report):
+        rep, _ = report
+        assert rep.sigma > 0
+
+    def test_budget_efficiency(self, report):
+        rep, instance = report
+        assert rep.spent == pytest.approx(10.0)
+        assert rep.sigma_per_budget == pytest.approx(rep.sigma / 10.0)
+
+    def test_adopters_per_item_shape(self, report):
+        rep, instance = report
+        assert rep.adopters_per_item.shape == (instance.n_items,)
+        # the two seeded items always have at least their seeds
+        assert rep.adopters_per_item[0] >= 1.0
+        assert rep.adopters_per_item[1] >= 1.0
+
+    def test_promotion_split_sums_to_sigma(self, report):
+        rep, _ = report
+        assert sum(rep.sigma_by_promotion) == pytest.approx(rep.sigma)
+
+    def test_bounds(self, report):
+        rep, instance = report
+        assert 0 <= rep.unique_adopters <= instance.n_users
+        assert 0 <= rep.items_covered <= instance.n_items
+
+    def test_summary_lines(self, report):
+        rep, _ = report
+        lines = rep.summary_lines()
+        assert any("sigma" in line for line in lines)
+
+    def test_empty_group(self):
+        instance = build_tiny_instance()
+        rep = campaign_report(instance, SeedGroup(), n_samples=5)
+        assert rep.sigma == 0.0
+        assert rep.sigma_per_budget == 0.0
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats", "--dataset", "yelp"])
+        assert args.command == "stats"
+
+    def test_stats_command(self, capsys):
+        code = main(["stats", "--dataset", "yelp", "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg_initial_influence" in out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--dataset", "yelp", "--scale", "0.2",
+            "--budget", "30", "--promotions", "2",
+            "--algorithm", "PS", "--samples", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "sigma" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--dataset", "yelp", "--scale", "0.2",
+            "--budget", "30", "--promotions", "2", "--samples", "3",
+            "--skip", "OPT", "Dysim", "HAG", "BGRD",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "PS" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--dataset", "netflix"])

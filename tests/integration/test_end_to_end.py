@@ -1,0 +1,67 @@
+"""Integration tests: full pipelines on scaled-down datasets."""
+
+import pytest
+
+from repro.baselines import run_ps
+from repro.core.dysim import AdaptiveDysim, Dysim, DysimConfig
+from repro.data import build_course_classes, load_dataset
+from repro.eval import evaluate_group, run_algorithm
+
+FAST = dict(n_samples_selection=5, n_samples_inner=5, candidate_pool=25)
+
+
+@pytest.fixture(scope="module")
+def small_yelp():
+    return load_dataset("yelp", scale=0.4, budget=40.0, n_promotions=2)
+
+
+class TestFullPipeline:
+    def test_dysim_on_generated_dataset(self, small_yelp):
+        result = Dysim(small_yelp, DysimConfig(**FAST)).run()
+        small_yelp.check_budget(result.seed_group)
+        assert result.sigma > 0
+
+    def test_dysim_beats_random_seeding(self, small_yelp):
+        from repro.baselines import run_random
+
+        dysim = Dysim(small_yelp, DysimConfig(**FAST)).run()
+        random_result = run_random(small_yelp, n_samples=5, seed=0)
+        sigma_dysim = evaluate_group(
+            small_yelp, dysim.seed_group, n_samples=30
+        )
+        sigma_random = evaluate_group(
+            small_yelp, random_result.seed_group, n_samples=30
+        )
+        assert sigma_dysim > sigma_random
+
+    def test_harness_runs_baseline_by_name(self, small_yelp):
+        result = run_algorithm("PS", small_yelp, n_samples=5, seed=0)
+        assert len(result.seed_group) >= 1
+
+    def test_adaptive_on_generated_dataset(self, small_yelp):
+        adaptive = AdaptiveDysim(small_yelp, DysimConfig(**FAST))
+        result = adaptive.run(world_seed=0)
+        assert result.spent <= small_yelp.budget + 1e-9
+
+    def test_budget_sweep_monotone_tendency(self):
+        """More budget never hurts PS much (sanity of the harness)."""
+        sigmas = []
+        for budget in (20.0, 60.0):
+            instance = load_dataset(
+                "yelp", scale=0.4, budget=budget, n_promotions=2
+            )
+            result = run_ps(instance, n_samples=5, seed=0)
+            sigmas.append(
+                evaluate_group(instance, result.seed_group, n_samples=30)
+            )
+        assert sigmas[1] >= 0.5 * sigmas[0]
+
+
+class TestCourseStudyPipeline:
+    def test_one_class_end_to_end(self):
+        classes = build_course_classes(budget=30.0, n_promotions=2)
+        instance = classes["D"]
+        result = Dysim(instance, DysimConfig(**FAST)).run()
+        instance.check_budget(result.seed_group)
+        # enrolments are unweighted: sigma counts students x courses
+        assert result.sigma >= 1.0

@@ -1,0 +1,128 @@
+"""Failure-injection and degenerate-input tests.
+
+A production library must behave sensibly at the edges: empty
+networks, unreachable seeds, saturated adoption states, exhausted
+budgets, single-item catalogues.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dysim import Dysim, DysimConfig
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.diffusion import CampaignSimulator, SigmaEstimator
+from repro.kg.relevance import RelevanceEngine
+from repro.social.network import SocialNetwork
+from repro.utils.rng import RngFactory, spawn_rng
+
+from tests.conftest import (
+    build_tiny_instance,
+    build_tiny_kg,
+    build_tiny_metagraphs,
+)
+
+FAST = dict(n_samples_selection=4, n_samples_inner=4, candidate_pool=10)
+
+
+def build_isolated_instance() -> IMDPPInstance:
+    """A network with no arcs at all."""
+    kg, items = build_tiny_kg()
+    relevance = RelevanceEngine(kg, build_tiny_metagraphs(), items)
+    network = SocialNetwork(4, directed=True)  # zero arcs
+    return IMDPPInstance(
+        network=network,
+        kg=kg,
+        relevance=relevance,
+        importance=np.ones(4),
+        base_preference=np.full((4, 4), 0.5),
+        initial_weights=np.full((4, relevance.n_meta), 0.5),
+        costs=np.full((4, 4), 3.0),
+        budget=12.0,
+        n_promotions=2,
+        name="isolated",
+    )
+
+
+class TestIsolatedNetwork:
+    def test_diffusion_stops_at_seeds(self):
+        instance = build_isolated_instance()
+        simulator = CampaignSimulator(instance)
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1)]), spawn_rng(0, "iso")
+        )
+        assert outcome.new_adoptions.sum() == 1
+        assert outcome.sigma == pytest.approx(1.0)
+
+    def test_dysim_handles_no_influence(self):
+        instance = build_isolated_instance()
+        result = Dysim(instance, DysimConfig(**FAST)).run()
+        # nobody influences anybody; any feasible answer is acceptable
+        instance.check_budget(result.seed_group)
+
+
+class TestSaturation:
+    def test_everything_already_adopted(self):
+        instance = build_tiny_instance()
+        state = instance.new_state()
+        state.apply_step_adoptions(
+            {u: list(range(4)) for u in range(6)}
+        )
+        simulator = CampaignSimulator(instance)
+        outcome = simulator.run(
+            SeedGroup([Seed(0, 0, 1), Seed(1, 1, 1)]),
+            spawn_rng(1, "sat"),
+            initial_state=state,
+        )
+        # nothing new can be adopted
+        assert outcome.sigma == 0.0
+        assert not outcome.new_adoptions.any()
+
+    def test_preferences_stable_at_saturation(self):
+        instance = build_tiny_instance()
+        state = instance.new_state()
+        for _ in range(3):
+            state.apply_step_adoptions(
+                {u: list(range(4)) for u in range(6)}
+            )
+        for user in range(6):
+            prefs = state.preference(user)
+            assert prefs.min() >= 0.0 and prefs.max() <= 1.0
+
+
+class TestExhaustedBudget:
+    def test_budget_below_every_cost(self):
+        instance = build_tiny_instance(budget=1.0)  # costs are 5.0
+        result = Dysim(instance, DysimConfig(**FAST)).run()
+        assert len(result.seed_group) == 0
+        assert result.sigma == 0.0
+
+    def test_estimator_empty_group_is_free(self):
+        instance = build_tiny_instance(budget=1.0)
+        estimator = SigmaEstimator(
+            instance, n_samples=5, rng_factory=RngFactory(0)
+        )
+        assert estimator.sigma(SeedGroup()) == 0.0
+
+
+class TestDegenerateCatalogue:
+    def test_single_item_universe(self):
+        kg, items = build_tiny_kg()
+        relevance = RelevanceEngine(kg, build_tiny_metagraphs(), items[:1])
+        network = SocialNetwork(3, directed=False)
+        network.add_edge(0, 1, 0.5)
+        network.add_edge(1, 2, 0.5)
+        instance = IMDPPInstance(
+            network=network,
+            kg=kg,
+            relevance=relevance,
+            importance=np.ones(1),
+            base_preference=np.full((3, 1), 0.6),
+            initial_weights=np.full((3, relevance.n_meta), 0.5),
+            costs=np.full((3, 1), 4.0),
+            budget=8.0,
+            n_promotions=2,
+            name="one-item",
+        )
+        result = Dysim(instance, DysimConfig(**FAST)).run()
+        instance.check_budget(result.seed_group)
+        assert all(seed.item == 0 for seed in result.seed_group)

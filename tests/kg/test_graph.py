@@ -1,0 +1,86 @@
+"""Tests for the KnowledgeGraph container."""
+
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def kg():
+    graph = KnowledgeGraph()
+    items = [graph.add_node("ITEM", f"i{k}") for k in range(3)]
+    feature = graph.add_node("FEATURE", "f0")
+    graph.add_edge(items[0], feature, "SUPPORT")
+    graph.add_edge(items[1], feature, "SUPPORT")
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_assigns_types(self, kg):
+        assert kg.node_type(0) == "ITEM"
+        assert kg.node_type(3) == "FEATURE"
+
+    def test_unknown_node_type_raises(self):
+        with pytest.raises(SchemaError):
+            KnowledgeGraph().add_node("WIDGET")
+
+    def test_edge_validated_against_schema(self, kg):
+        with pytest.raises(SchemaError):
+            kg.add_edge(0, 1, "SUPPORT")  # ITEM-ITEM not a SUPPORT edge
+
+    def test_edge_unknown_node(self, kg):
+        with pytest.raises(GraphError):
+            kg.add_edge(0, 99, "SUPPORT")
+
+    def test_edge_idempotent(self, kg):
+        before = kg.n_edges
+        kg.add_edge(0, 3, "SUPPORT")
+        assert kg.n_edges == before
+
+    def test_counts(self, kg):
+        assert kg.n_nodes == 4
+        assert kg.n_edges == 2
+        assert kg.n_node_types == 2
+        assert kg.n_edge_types == 1
+
+
+class TestQueries:
+    def test_neighbors_typed(self, kg):
+        assert kg.neighbors(0, "SUPPORT") == {3}
+        assert kg.neighbors(2, "SUPPORT") == set()
+
+    def test_neighbors_unknown_node(self, kg):
+        with pytest.raises(GraphError):
+            kg.neighbors(99, "SUPPORT")
+
+    def test_nodes_of_type_order(self, kg):
+        assert kg.nodes_of_type("ITEM") == [0, 1, 2]
+
+    def test_edges_iteration(self, kg):
+        edges = set(kg.edges())
+        assert edges == {(0, 3, "SUPPORT"), (1, 3, "SUPPORT")}
+
+    def test_labels(self, kg):
+        assert kg.node_label(0) == "i0"
+
+
+class TestBiadjacency:
+    def test_shape_and_entries(self, kg):
+        matrix = kg.biadjacency("ITEM", "SUPPORT", "FEATURE")
+        assert matrix.shape == (3, 1)
+        assert matrix[0, 0] == 1.0
+        assert matrix[1, 0] == 1.0
+        assert matrix[2, 0] == 0.0
+
+    def test_cache_invalidated_on_mutation(self, kg):
+        first = kg.biadjacency("ITEM", "SUPPORT", "FEATURE")
+        kg.add_edge(2, 3, "SUPPORT")
+        second = kg.biadjacency("ITEM", "SUPPORT", "FEATURE")
+        assert first[2, 0] == 0.0
+        assert second[2, 0] == 1.0
+
+    def test_cached_identity(self, kg):
+        assert kg.biadjacency("ITEM", "SUPPORT", "FEATURE") is kg.biadjacency(
+            "ITEM", "SUPPORT", "FEATURE"
+        )

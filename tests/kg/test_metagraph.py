@@ -1,0 +1,81 @@
+"""Tests for meta-graph schemas and instance counting."""
+
+import pytest
+
+from repro.errors import MetaGraphError
+from repro.kg.metagraph import (
+    MetaGraph,
+    MetaPathLeg,
+    Relationship,
+    diamond_metagraph,
+    shared_attribute_metagraph,
+)
+
+from tests.conftest import build_tiny_kg
+
+
+class TestMetaPathLeg:
+    def test_requires_item_endpoints(self):
+        with pytest.raises(MetaGraphError):
+            MetaPathLeg(("FEATURE", "ITEM"), ("SUPPORT",))
+        with pytest.raises(MetaGraphError):
+            MetaPathLeg(("ITEM", "FEATURE", "BRAND"), ("SUPPORT", "X"))
+
+    def test_edge_type_arity(self):
+        with pytest.raises(MetaGraphError):
+            MetaPathLeg(("ITEM", "FEATURE", "ITEM"), ("SUPPORT",))
+
+    def test_count_matrix_shared_feature(self):
+        kg, items = build_tiny_kg()
+        leg = MetaPathLeg(("ITEM", "FEATURE", "ITEM"), ("SUPPORT", "SUPPORT"))
+        counts = leg.count_matrix(kg).toarray()
+        # items 0 and 1 share f0; items 1 and 2 share f1; 0 and 2 none.
+        assert counts[0, 1] == 1
+        assert counts[1, 2] == 1
+        assert counts[0, 2] == 0
+        # diagonal counts are the items' feature degrees.
+        assert counts[1, 1] == 2
+
+
+class TestMetaGraph:
+    def test_needs_legs(self):
+        with pytest.raises(MetaGraphError):
+            MetaGraph("empty", Relationship.COMPLEMENTARY, ())
+
+    def test_single_leg_counts(self):
+        kg, items = build_tiny_kg()
+        m1 = shared_attribute_metagraph(
+            "m1", Relationship.COMPLEMENTARY, "FEATURE", "SUPPORT"
+        )
+        counts = m1.instance_counts(kg).toarray()
+        assert counts[0, 1] == 1
+
+    def test_diamond_multiplies_legs(self):
+        kg, items = build_tiny_kg()
+        m3 = diamond_metagraph(
+            "m3",
+            Relationship.COMPLEMENTARY,
+            [("FEATURE", "SUPPORT"), ("BRAND", "PRODUCED_BY")],
+        )
+        counts = m3.instance_counts(kg).toarray()
+        # 0 and 1 share one feature AND the brand -> 1 * 1 = 1 instance.
+        assert counts[0, 1] == 1
+        # 0 and 3 share neither feature nor brand -> no instance.
+        assert counts[0, 3] == 0
+
+    def test_diamond_zero_when_one_leg_missing(self):
+        kg, items = build_tiny_kg()
+        m3 = diamond_metagraph(
+            "m3",
+            Relationship.COMPLEMENTARY,
+            [("FEATURE", "SUPPORT"), ("CATEGORY", "BELONGS_TO")],
+        )
+        counts = m3.instance_counts(kg).toarray()
+        # 0 and 1 share a feature but not a category.
+        assert counts[0, 1] == 0
+
+    def test_relationship_enum(self):
+        m = shared_attribute_metagraph(
+            "ms", Relationship.SUBSTITUTABLE, "CATEGORY", "BELONGS_TO"
+        )
+        assert m.relationship is Relationship.SUBSTITUTABLE

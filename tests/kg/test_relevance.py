@@ -1,0 +1,114 @@
+"""Tests for the relevance engine (PathSim-normalized counts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetaGraphError
+from repro.kg.metagraph import Relationship
+from repro.kg.relevance import RelevanceEngine, pathsim_normalize
+
+from tests.conftest import build_tiny_kg, build_tiny_metagraphs
+
+
+class TestPathsimNormalize:
+    def test_symmetric_counts_give_symmetric_relevance(self):
+        counts = np.array([[2.0, 1.0], [1.0, 4.0]])
+        s = pathsim_normalize(counts)
+        assert s[0, 1] == s[1, 0]
+        assert s[0, 1] == pytest.approx(2.0 / 6.0)
+
+    def test_diagonal_is_one_with_instances(self):
+        counts = np.array([[3.0, 0.0], [0.0, 5.0]])
+        s = pathsim_normalize(counts)
+        assert s[0, 0] == 1.0
+        assert s[1, 1] == 1.0
+
+    def test_zero_participation_is_zero(self):
+        counts = np.zeros((2, 2))
+        s = pathsim_normalize(counts)
+        assert (s == 0).all()
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        raw = rng.integers(0, 5, size=(6, 6)).astype(float)
+        counts = raw + raw.T
+        np.fill_diagonal(counts, counts.sum(axis=1) + 1)
+        s = pathsim_normalize(counts)
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MetaGraphError):
+            pathsim_normalize(np.zeros((2, 3)))
+
+
+class TestRelevanceEngine:
+    @pytest.fixture
+    def engine(self):
+        kg, items = build_tiny_kg()
+        return RelevanceEngine(kg, build_tiny_metagraphs(), items)
+
+    def test_meta_partition(self, engine):
+        assert list(engine.complementary_index) == [0, 1, 2]
+        assert list(engine.substitutable_index) == [3]
+
+    def test_zero_diagonal(self, engine):
+        for m in range(engine.n_meta):
+            assert (np.diag(engine.matrix(m)) == 0).all()
+
+    def test_known_relations(self, engine):
+        m1 = engine.matrix(0)  # shared feature
+        assert m1[0, 1] > 0      # iPhone-AirPods share Bluetooth
+        assert m1[0, 3] == 0.0   # iPhone-iPad share no feature
+        ms = engine.matrix(3)    # shared category
+        assert ms[0, 3] > 0      # iPhone-iPad substitutable
+        assert ms[0, 1] == 0.0
+
+    def test_combine_linear_in_weights(self, engine):
+        w = np.array([0.5, 0.5, 0.5, 0.5])
+        half = engine.combine(w, Relationship.COMPLEMENTARY)
+        full = engine.combine(2 * w, Relationship.COMPLEMENTARY)
+        # Linear before clipping; entries not at the clip boundary double.
+        mask = full < 1.0
+        assert np.allclose(full[mask], 2 * half[mask])
+
+    def test_combine_only_uses_own_relationship(self, engine):
+        w = np.zeros(4)
+        w[3] = 1.0  # only the substitutable meta-graph
+        c = engine.combine(w, Relationship.COMPLEMENTARY)
+        assert (c == 0).all()
+
+    def test_average_relevance_equals_mean_weights(self, engine):
+        rng = np.random.default_rng(1)
+        rows = rng.uniform(0, 1, size=(5, 4))
+        averaged = engine.average_relevance(rows, Relationship.COMPLEMENTARY)
+        direct = engine.combine(rows.mean(axis=0), Relationship.COMPLEMENTARY)
+        assert np.allclose(averaged, direct)
+
+    def test_average_relevance_empty_users(self, engine):
+        out = engine.average_relevance(
+            np.zeros((0, 4)), Relationship.COMPLEMENTARY
+        )
+        assert (out == 0).all()
+
+    def test_average_relevance_shape_check(self, engine):
+        with pytest.raises(MetaGraphError):
+            engine.average_relevance(
+                np.zeros((3, 7)), Relationship.COMPLEMENTARY
+            )
+
+    def test_item_subset(self):
+        kg, items = build_tiny_kg()
+        engine = RelevanceEngine(kg, build_tiny_metagraphs(), items[:2])
+        assert engine.n_items == 2
+        assert engine.matrix(0).shape == (2, 2)
+
+    def test_rejects_non_item_nodes(self):
+        kg, items = build_tiny_kg()
+        feature = kg.nodes_of_type("FEATURE")[0]
+        with pytest.raises(MetaGraphError):
+            RelevanceEngine(kg, build_tiny_metagraphs(), [feature])
+
+    def test_requires_metagraphs(self):
+        kg, items = build_tiny_kg()
+        with pytest.raises(MetaGraphError):
+            RelevanceEngine(kg, [], items)

@@ -1,0 +1,45 @@
+"""Tests for the KG schema layer."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.kg.schema import EdgeType, Schema
+
+
+class TestEdgeType:
+    def test_connects_declared_types(self):
+        support = EdgeType("SUPPORT", "ITEM", "FEATURE")
+        assert support.connects("ITEM", "FEATURE")
+        assert support.connects("FEATURE", "ITEM")
+
+    def test_rejects_other_types(self):
+        support = EdgeType("SUPPORT", "ITEM", "FEATURE")
+        assert not support.connects("ITEM", "BRAND")
+        assert not support.connects("ITEM", "ITEM")
+
+    def test_self_loop_type(self):
+        related = EdgeType("RELATED", "ITEM", "ITEM")
+        assert related.connects("ITEM", "ITEM")
+
+
+class TestSchema:
+    def test_default_has_paper_types(self):
+        schema = Schema.default()
+        for node_type in ("ITEM", "FEATURE", "BRAND", "CATEGORY"):
+            assert node_type in schema.node_types
+        assert schema.edge_type("SUPPORT").name == "SUPPORT"
+
+    def test_unknown_edge_type_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.default().edge_type("NOPE")
+
+    def test_add_edge_type_requires_node_types(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.add_edge_type(EdgeType("X", "A", "B"))
+
+    def test_validate_edge(self):
+        schema = Schema.default()
+        schema.validate_edge("SUPPORT", "ITEM", "FEATURE")
+        with pytest.raises(SchemaError):
+            schema.validate_edge("SUPPORT", "ITEM", "BRAND")

@@ -1,0 +1,109 @@
+"""Tests for preference estimation, influence learning, associations."""
+
+import numpy as np
+import pytest
+
+from repro.perception.association import extra_adoption_probabilities
+from repro.perception.influence import (
+    adoption_similarity,
+    influence_strength,
+)
+from repro.perception.preference import preference_vector
+
+
+class TestPreference:
+    def setup_method(self):
+        self.base = np.array([0.3, 0.4, 0.5])
+        self.c_index = np.array([0])
+        self.s_index = np.array([1])
+
+    def test_complement_raises(self):
+        accumulated = np.array([[0.5, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        prefs = preference_vector(
+            self.base, np.array([1.0, 1.0]), accumulated,
+            self.c_index, self.s_index, beta=0.3,
+        )
+        assert prefs[0] > self.base[0]
+        assert prefs[1] == pytest.approx(self.base[1])
+
+    def test_substitute_lowers(self):
+        accumulated = np.array([[0.0, 0.0, 0.0], [0.0, 0.6, 0.0]])
+        prefs = preference_vector(
+            self.base, np.array([1.0, 1.0]), accumulated,
+            self.c_index, self.s_index, beta=0.3,
+        )
+        assert prefs[1] < self.base[1]
+
+    def test_boost_bounded_by_beta(self):
+        accumulated = np.array([[100.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        prefs = preference_vector(
+            self.base, np.array([1.0, 1.0]), accumulated,
+            self.c_index, self.s_index, beta=0.3,
+        )
+        assert prefs[0] <= self.base[0] + 0.3 + 1e-12
+
+    def test_min_preference_floor(self):
+        accumulated = np.array([[0.0, 0.0, 0.0], [0.0, 100.0, 0.0]])
+        prefs = preference_vector(
+            self.base, np.array([1.0, 1.0]), accumulated,
+            self.c_index, self.s_index, beta=0.5, min_preference=0.2,
+        )
+        assert prefs[1] == pytest.approx(0.2)
+
+    def test_clipped_to_one(self):
+        base = np.array([0.95])
+        accumulated = np.array([[10.0], [0.0]])
+        prefs = preference_vector(
+            base, np.array([1.0, 1.0]), accumulated,
+            self.c_index, self.s_index, beta=0.5,
+        )
+        assert prefs[0] == 1.0
+
+
+class TestInfluence:
+    def test_no_adoptions_no_similarity(self):
+        w = np.array([0.5, 0.5])
+        assert adoption_similarity(set(), {1}, w, w) == 0.0
+        assert adoption_similarity({1}, set(), w, w) == 0.0
+
+    def test_identical_users_high_similarity(self):
+        w = np.array([0.5, 0.5])
+        sim = adoption_similarity({1, 2}, {1, 2}, w, w)
+        # jaccard 1, cosine 1, depth factor 2/3 for two common items.
+        assert sim == pytest.approx(2.0 / 3.0)
+
+    def test_similarity_grows_with_shared_history(self):
+        w = np.array([0.5, 0.5])
+        one = adoption_similarity({1}, {1}, w, w)
+        three = adoption_similarity({1, 2, 3}, {1, 2, 3}, w, w)
+        assert three > one > 0.0
+
+    def test_disjoint_adoptions_no_bonus(self):
+        w = np.array([0.5, 0.5])
+        sim = adoption_similarity({1}, {2}, w, w)
+        # no common items -> the depth gate zeroes the bonus.
+        assert sim == 0.0
+
+    def test_strength_requires_arc(self):
+        assert influence_strength(0.0, 1.0, gamma=0.5) == 0.0
+
+    def test_strength_bonus_and_cap(self):
+        assert influence_strength(0.4, 1.0, gamma=0.2) == pytest.approx(0.6)
+        assert influence_strength(0.95, 1.0, gamma=0.5) == 1.0
+
+    def test_min_influence_floor(self):
+        assert influence_strength(0.01, 0.0, gamma=0.0, min_influence=0.05) == 0.05
+
+
+class TestAssociation:
+    def test_product_form(self):
+        row = np.array([0.0, 0.5, 1.0])
+        probs = extra_adoption_probabilities(0.4, 0.5, row)
+        assert probs[0] == 0.0
+        assert probs[1] == pytest.approx(0.1)
+        assert probs[2] == pytest.approx(0.2)
+
+    def test_clipped(self):
+        row = np.array([10.0])
+        probs = extra_adoption_probabilities(1.0, 1.0, row)
+        assert probs[0] == 1.0

@@ -1,0 +1,80 @@
+"""Tests for personal item networks and dynamics parameters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.kg.relevance import RelevanceEngine
+from repro.perception.params import DynamicsParams
+from repro.perception.pin import PersonalItemNetwork
+
+from tests.conftest import build_tiny_kg, build_tiny_metagraphs
+
+
+@pytest.fixture
+def engine():
+    kg, items = build_tiny_kg()
+    return RelevanceEngine(kg, build_tiny_metagraphs(), items)
+
+
+class TestPersonalItemNetwork:
+    def test_from_weights(self, engine):
+        pin = PersonalItemNetwork.from_weights(
+            engine, np.array([1.0, 0.0, 0.0, 1.0])
+        )
+        assert pin.complementary[0, 1] > 0   # shared feature only
+        assert pin.substitutable[0, 3] > 0   # shared category
+
+    def test_edges_listing(self, engine):
+        pin = PersonalItemNetwork.from_weights(
+            engine, np.full(4, 0.5)
+        )
+        edges = pin.edges()
+        kinds = {(x, y, k) for x, y, k, _ in edges}
+        assert any(k == "C" for _, _, k in kinds)
+        assert any(k == "S" for _, _, k in kinds)
+        for x, y, _, relevance in edges:
+            assert x < y
+            assert relevance > 0
+
+    def test_edges_threshold(self, engine):
+        pin = PersonalItemNetwork.from_weights(engine, np.full(4, 0.5))
+        assert len(pin.edges(threshold=0.99)) <= len(pin.edges())
+
+    def test_net_relevance_sign(self, engine):
+        pin = PersonalItemNetwork.from_weights(engine, np.full(4, 0.5))
+        net = pin.net_relevance()
+        assert net[0, 1] > 0    # complementary pair
+        assert net[0, 3] < 0    # substitutable pair
+
+    def test_zero_weights_empty_network(self, engine):
+        pin = PersonalItemNetwork.from_weights(engine, np.zeros(4))
+        assert not pin.edges()
+
+
+class TestDynamicsParams:
+    def test_defaults_valid(self):
+        params = DynamicsParams()
+        assert params.eta > 0
+        assert 0 <= params.association_scale <= 1
+
+    def test_frozen_disables_everything(self):
+        frozen = DynamicsParams.frozen()
+        assert frozen.eta == frozen.beta == frozen.gamma == 0.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ProblemError):
+            DynamicsParams(eta=-0.1)
+        with pytest.raises(ProblemError):
+            DynamicsParams(beta=-1.0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ProblemError):
+            DynamicsParams(association_scale=1.5)
+        with pytest.raises(ProblemError):
+            DynamicsParams(min_preference=-0.2)
+
+    def test_immutable(self):
+        params = DynamicsParams()
+        with pytest.raises(AttributeError):
+            params.eta = 0.9

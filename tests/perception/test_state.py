@@ -1,0 +1,120 @@
+"""Tests for the perception state orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.perception.params import DynamicsParams
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture
+def state():
+    return build_tiny_instance().new_state()
+
+
+@pytest.fixture
+def frozen_state():
+    return build_tiny_instance(dynamics=DynamicsParams.frozen()).new_state()
+
+
+class TestReads:
+    def test_initial_preference_is_base(self, state):
+        instance = build_tiny_instance()
+        assert np.allclose(
+            state.preference(0), instance.base_preference[0]
+        )
+
+    def test_initial_influence_is_base(self, state):
+        assert state.influence(0, 1) == pytest.approx(0.6)
+        assert state.influence(0, 3) == 0.0  # no arc
+
+    def test_personal_item_network_snapshot(self, state):
+        pin = state.personal_item_network(0)
+        assert pin.complementary.shape == (4, 4)
+        assert pin.complementary[0, 1] > 0  # iPhone-AirPods
+        assert pin.substitutable[0, 3] > 0  # iPhone-iPad
+
+
+class TestAdoptionUpdates:
+    def test_adoption_recorded(self, state):
+        state.apply_step_adoptions({0: [0]})
+        assert state.has_adopted(0, 0)
+        assert state.adoption_set(0) == {0}
+
+    def test_duplicate_adoption_ignored(self, state):
+        state.apply_step_adoptions({0: [0]})
+        state.apply_step_adoptions({0: [0]})
+        assert state.adoption_set(0) == {0}
+
+    def test_preference_of_complement_rises(self, state):
+        before = state.preference_of(0, 1)
+        state.apply_step_adoptions({0: [0]})  # adopt iPhone
+        after = state.preference_of(0, 1)     # AirPods preference
+        assert after > before
+
+    def test_preference_of_substitute_falls(self, state):
+        before = state.preference_of(0, 3)
+        state.apply_step_adoptions({0: [0]})  # iPhone substitutes iPad
+        after = state.preference_of(0, 3)
+        assert after < before
+
+    def test_weights_shift_toward_explaining_metagraphs(self, state):
+        before = state.weights[0].copy()
+        state.apply_step_adoptions({0: [0, 1]})  # iPhone + AirPods
+        after = state.weights[0]
+        # Relative weight of m1 (shared feature) vs ms1 (category) grows.
+        assert after[0] / after[3] > before[0] / before[3]
+
+    def test_influence_grows_with_coadoption(self, state):
+        before = state.influence(0, 1)
+        state.apply_step_adoptions({0: [0], 1: [0]})
+        after = state.influence(0, 1)
+        assert after > before
+
+    def test_extra_adoption_probs_zero_for_irrelevant(self, state):
+        probs = state.extra_adoption_probs(1, 0, 0)
+        assert probs[3] == 0.0  # iPad is not complementary to iPhone
+        assert probs[1] > 0.0   # AirPods is
+
+    def test_probabilities_stay_bounded(self, state):
+        for step in range(4):
+            state.apply_step_adoptions({u: [step % 4] for u in range(6)})
+        for user in range(6):
+            prefs = state.preference(user)
+            assert prefs.min() >= 0.0 and prefs.max() <= 1.0
+            for other in range(6):
+                if user != other:
+                    assert 0.0 <= state.influence(user, other) <= 1.0
+
+
+class TestFrozenDynamics:
+    def test_preference_never_changes(self, frozen_state):
+        before = frozen_state.preference(0).copy()
+        frozen_state.apply_step_adoptions({0: [0, 1, 2]})
+        assert np.allclose(frozen_state.preference(0), before)
+
+    def test_influence_never_changes(self, frozen_state):
+        before = frozen_state.influence(0, 1)
+        frozen_state.apply_step_adoptions({0: [0], 1: [0]})
+        assert frozen_state.influence(0, 1) == before
+
+    def test_weights_never_change(self, frozen_state):
+        before = frozen_state.weights.copy()
+        frozen_state.apply_step_adoptions({0: [0, 1]})
+        assert np.allclose(frozen_state.weights, before)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, state):
+        clone = state.copy()
+        clone.apply_step_adoptions({0: [0]})
+        assert clone.has_adopted(0, 0)
+        assert not state.has_adopted(0, 0)
+        assert not np.shares_memory(clone.weights, state.weights)
+
+    def test_copy_preserves_history(self, state):
+        state.apply_step_adoptions({2: [1]})
+        clone = state.copy()
+        assert clone.has_adopted(2, 1)
+        assert np.allclose(clone.preference(2), state.preference(2))

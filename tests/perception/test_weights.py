@@ -1,0 +1,78 @@
+"""Tests for meta-graph weighting updates (relevance measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.kg.relevance import RelevanceEngine
+from repro.perception.weights import (
+    initial_weights,
+    update_weights,
+    weight_evidence,
+)
+
+from tests.conftest import build_tiny_kg, build_tiny_metagraphs
+
+
+@pytest.fixture
+def engine():
+    kg, items = build_tiny_kg()
+    return RelevanceEngine(kg, build_tiny_metagraphs(), items)
+
+
+class TestInitialWeights:
+    def test_deterministic_without_rng(self):
+        w = initial_weights(3, 4)
+        assert (w == 0.5).all()
+        assert w.shape == (3, 4)
+
+    def test_random_within_bounds(self):
+        w = initial_weights(10, 4, rng=np.random.default_rng(0))
+        assert w.min() >= 0.2 and w.max() <= 0.8
+
+
+class TestWeightEvidence:
+    def test_no_history_no_pairs_no_evidence(self, engine):
+        evidence = weight_evidence(engine, set(), [0])
+        assert (evidence == 0).all()
+
+    def test_history_contributes(self, engine):
+        # History item 0 (iPhone) and new item 1 (AirPods) share a
+        # feature and the brand: complementary meta-graphs get evidence.
+        evidence = weight_evidence(engine, {0}, [1])
+        assert evidence[0] > 0  # m1 shared feature
+        assert evidence[1] > 0  # m2 shared brand
+        assert evidence[3] == 0  # ms1: no shared category
+
+    def test_within_batch_pairs_contribute(self, engine):
+        # Adopting 0 and 1 together (no history) still counts the pair.
+        evidence = weight_evidence(engine, set(), [0, 1])
+        assert evidence[0] > 0
+
+    def test_order_invariant_within_batch(self, engine):
+        a = weight_evidence(engine, set(), [0, 1])
+        b = weight_evidence(engine, set(), [1, 0])
+        assert np.allclose(a, b)
+
+
+class TestUpdateWeights:
+    def test_evidenced_weight_grows_relative(self):
+        weights = np.array([0.5, 0.5])
+        updated = update_weights(weights, np.array([1.0, 0.0]), eta=0.5)
+        assert updated[0] > updated[1]
+
+    def test_stays_in_unit_interval(self):
+        weights = np.array([0.9, 0.9])
+        updated = update_weights(weights, np.array([10.0, 0.0]), eta=1.0)
+        assert updated.max() <= 1.0
+        assert updated.min() >= 0.0
+
+    def test_zero_eta_no_change(self):
+        weights = np.array([0.3, 0.6])
+        updated = update_weights(weights, np.array([5.0, 5.0]), eta=0.0)
+        assert np.allclose(updated, weights)
+
+    def test_renormalization_preserves_ratios(self):
+        weights = np.array([0.5, 1.0])
+        updated = update_weights(weights, np.array([3.0, 3.0]), eta=1.0)
+        assert updated[1] == pytest.approx(1.0)
+        assert updated[0] == pytest.approx(3.5 / 4.0)

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+DESIGN.md §8 lists the invariants; each strategy drives the real code
+paths with arbitrary (bounded) inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kg.metagraph import Relationship
+from repro.kg.relevance import pathsim_normalize
+from repro.perception.influence import adoption_similarity, influence_strength
+from repro.perception.preference import preference_vector
+from repro.perception.weights import update_weights
+from repro.diffusion.realization import FrozenRealization
+
+from tests.conftest import build_tiny_instance
+
+
+# ---------------------------------------------------------------------------
+# relevance
+# ---------------------------------------------------------------------------
+@st.composite
+def count_matrices(draw):
+    n = draw(st.integers(2, 6))
+    values = draw(
+        st.lists(
+            st.integers(0, 8), min_size=n * n, max_size=n * n
+        )
+    )
+    raw = np.array(values, dtype=float).reshape(n, n)
+    counts = raw + raw.T  # symmetric counts
+    # the diagonal must dominate: c(x,x) >= max row count (PathSim input)
+    np.fill_diagonal(counts, counts.max(axis=1) + np.diag(raw))
+    return counts
+
+
+@given(count_matrices())
+@settings(max_examples=60, deadline=None)
+def test_pathsim_symmetric_and_bounded(counts):
+    s = pathsim_normalize(counts)
+    assert np.allclose(s, s.T)
+    assert s.min() >= 0.0
+    assert s.max() <= 1.0 + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# weights
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0.0, 1.0), min_size=2, max_size=6),
+    st.lists(st.floats(0.0, 10.0), min_size=2, max_size=6),
+    st.floats(0.0, 2.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_weight_update_stays_in_unit_interval(weights, evidence, eta):
+    n = min(len(weights), len(evidence))
+    updated = update_weights(
+        np.array(weights[:n]), np.array(evidence[:n]), eta
+    )
+    assert updated.min() >= 0.0
+    assert updated.max() <= 1.0 + 1e-12
+
+
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+    st.floats(0.01, 5.0),
+    st.floats(0.1, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_weight_update_monotone_in_evidence(weights, bonus, eta):
+    """More evidence for one meta-graph never lowers its relative weight."""
+    base = np.array(weights)
+    low = update_weights(base, np.array([0.0, 0.0, 0.0]), eta)
+    high = update_weights(base, np.array([bonus, 0.0, 0.0]), eta)
+    # relative share of meta-graph 0 grows
+    assert high[0] / high.sum() >= low[0] / low.sum() - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# preference (cross elasticity)
+# ---------------------------------------------------------------------------
+@st.composite
+def preference_inputs(draw):
+    n_items = draw(st.integers(2, 5))
+    base = np.array(
+        draw(st.lists(st.floats(0.0, 1.0), min_size=n_items, max_size=n_items))
+    )
+    acc = np.array(
+        draw(
+            st.lists(
+                st.floats(0.0, 3.0), min_size=2 * n_items, max_size=2 * n_items
+            )
+        )
+    ).reshape(2, n_items)
+    weights = np.array(draw(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=2)))
+    beta = draw(st.floats(0.0, 1.0))
+    return base, weights, acc, beta
+
+
+@given(preference_inputs())
+@settings(max_examples=80, deadline=None)
+def test_preference_bounded(inputs):
+    base, weights, acc, beta = inputs
+    prefs = preference_vector(
+        base, weights, acc, np.array([0]), np.array([1]), beta
+    )
+    assert prefs.min() >= 0.0
+    assert prefs.max() <= 1.0 + 1e-12
+
+
+@given(preference_inputs(), st.floats(0.01, 2.0))
+@settings(max_examples=80, deadline=None)
+def test_more_complement_mass_never_lowers_preference(inputs, extra):
+    base, weights, acc, beta = inputs
+    before = preference_vector(
+        base, weights, acc, np.array([0]), np.array([1]), beta
+    )
+    boosted = acc.copy()
+    boosted[0] += extra  # more accumulated complementary relevance
+    after = preference_vector(
+        base, weights, boosted, np.array([0]), np.array([1]), beta
+    )
+    assert (after >= before - 1e-9).all()
+
+
+@given(preference_inputs(), st.floats(0.01, 2.0))
+@settings(max_examples=80, deadline=None)
+def test_more_substitute_mass_never_raises_preference(inputs, extra):
+    base, weights, acc, beta = inputs
+    before = preference_vector(
+        base, weights, acc, np.array([0]), np.array([1]), beta
+    )
+    boosted = acc.copy()
+    boosted[1] += extra  # more accumulated substitutable relevance
+    after = preference_vector(
+        base, weights, boosted, np.array([0]), np.array([1]), beta
+    )
+    assert (after <= before + 1e-9).all()
+
+
+# ---------------------------------------------------------------------------
+# influence
+# ---------------------------------------------------------------------------
+@given(
+    st.sets(st.integers(0, 8), max_size=6),
+    st.sets(st.integers(0, 8), max_size=6),
+    st.lists(st.floats(0.0, 1.0), min_size=3, max_size=3),
+    st.lists(st.floats(0.0, 1.0), min_size=3, max_size=3),
+    st.floats(0.0, 1.0),
+    st.floats(0.0, 1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_influence_strength_bounded(a, b, wa, wb, base, gamma):
+    sim = adoption_similarity(a, b, np.array(wa), np.array(wb))
+    assert 0.0 <= sim <= 1.0 + 1e-12
+    strength = influence_strength(base, sim, gamma)
+    assert 0.0 <= strength <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# diffusion (realized worlds)
+# ---------------------------------------------------------------------------
+_NOMINEES = [(u, x) for u in range(6) for x in range(4)]
+
+
+@given(
+    st.integers(0, 5),
+    st.sets(st.sampled_from(_NOMINEES), max_size=3),
+    st.sets(st.sampled_from(_NOMINEES), max_size=3),
+    st.sampled_from(_NOMINEES),
+)
+@settings(max_examples=30, deadline=None)
+def test_realized_spread_monotone_and_submodular(world, x_set, y_extra, e):
+    """Per-world coverage properties behind Lemma 1."""
+    instance = build_tiny_instance()
+    realization = FrozenRealization(instance, world_seed=world)
+    x = frozenset(x_set)
+    y = frozenset(x_set | y_extra)
+    fx = realization.spread(x)
+    fy = realization.spread(y)
+    assert fy >= fx - 1e-9  # monotone in a single promotion
+    gain_small = realization.spread(x | {e}) - fx
+    gain_large = realization.spread(y | {e}) - fy
+    assert gain_large <= gain_small + 1e-9  # submodular

@@ -1,0 +1,71 @@
+"""Tests for seed costs and social distances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.social.costs import seed_costs
+from repro.social.distances import bfs_hops, pairwise_social_distance
+from repro.social.network import SocialNetwork
+
+from tests.conftest import build_tiny_network
+
+
+class TestSeedCosts:
+    @pytest.fixture
+    def net(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        net.add_edge(0, 2, 0.5)
+        net.add_edge(1, 2, 0.5)
+        return net
+
+    def test_degree_raises_cost(self, net):
+        prefs = np.full((3, 2), 0.5)
+        costs = seed_costs(net, prefs)
+        assert costs[0, 0] > costs[1, 0] > 0
+
+    def test_preference_lowers_cost(self, net):
+        prefs = np.array([[0.9, 0.1]] * 3)
+        costs = seed_costs(net, prefs)
+        assert costs[0, 0] < costs[0, 1]
+
+    def test_min_cost_floor(self, net):
+        prefs = np.full((3, 2), 1.0)
+        costs = seed_costs(net, prefs, scale=1e-6, min_cost=1.0)
+        assert (costs == 1.0).all()
+
+    def test_low_preference_floored(self, net):
+        prefs = np.zeros((3, 2))
+        costs = seed_costs(net, prefs, min_preference=0.05)
+        assert np.isfinite(costs).all()
+
+    def test_shape_validation(self, net):
+        with pytest.raises(ProblemError):
+            seed_costs(net, np.zeros((5, 2)))
+        with pytest.raises(ProblemError):
+            seed_costs(net, np.zeros(3))
+        with pytest.raises(ProblemError):
+            seed_costs(net, np.zeros((3, 2)), scale=0.0)
+
+
+class TestDistances:
+    def test_bfs_ignores_direction(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        net.add_edge(2, 1, 0.5)
+        hops = bfs_hops(net, 0)
+        assert hops[2] == 2  # 0 -> 1 (forward) -> 2 (backward)
+
+    def test_pairwise_symmetric(self):
+        net = build_tiny_network()
+        users = [0, 2, 4]
+        matrix = pairwise_social_distance(net, users)
+        assert (matrix == matrix.T).all()
+        assert (np.diag(matrix) == 0).all()
+
+    def test_unreachable_capped(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        matrix = pairwise_social_distance(net, [0, 2], max_hops=4)
+        assert matrix[0, 1] == 5.0  # max_hops + 1

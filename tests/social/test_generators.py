@@ -1,0 +1,73 @@
+"""Tests for synthetic social-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.social.generators import (
+    community_network,
+    scale_free_network,
+    small_world_network,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestCommunityNetwork:
+    def test_basic_shape(self, rng):
+        net = community_network(80, 4, rng)
+        assert net.n_users == 80
+        assert net.n_arcs > 0
+        assert not net.directed
+
+    def test_mean_strength_in_range(self, rng):
+        net = community_network(120, 4, rng, mean_strength=0.1)
+        assert 0.02 < net.average_strength() < 0.3
+
+    def test_invalid_communities(self, rng):
+        with pytest.raises(DatasetError):
+            community_network(10, 0, rng)
+        with pytest.raises(DatasetError):
+            community_network(10, 11, rng)
+
+    def test_invalid_strength(self, rng):
+        with pytest.raises(DatasetError):
+            community_network(10, 2, rng, mean_strength=1.5)
+
+    def test_deterministic_given_rng(self):
+        a = community_network(50, 3, np.random.default_rng(1))
+        b = community_network(50, 3, np.random.default_rng(1))
+        assert set(a.arcs()) == set(b.arcs())
+
+
+class TestScaleFreeNetwork:
+    def test_degree_skew(self, rng):
+        net = scale_free_network(200, rng, attachment=3)
+        degrees = sorted(
+            (net.out_degree(u) + len(net.in_neighbors(u)))
+            for u in net.users()
+        )
+        # Heavy tail: the max degree dwarfs the median.
+        assert degrees[-1] > 4 * degrees[len(degrees) // 2]
+
+    def test_directedness(self, rng):
+        assert scale_free_network(50, rng).directed
+
+    def test_invalid_attachment(self, rng):
+        with pytest.raises(DatasetError):
+            scale_free_network(50, rng, attachment=0)
+
+
+class TestSmallWorldNetwork:
+    def test_ring_degree(self, rng):
+        net = small_world_network(60, rng, nearest=4, rewire=0.0)
+        # Without rewiring every user keeps ~4 ring neighbours.
+        degrees = [net.out_degree(u) for u in net.users()]
+        assert min(degrees) >= 3
+
+    def test_invalid_nearest(self, rng):
+        with pytest.raises(DatasetError):
+            small_world_network(60, rng, nearest=3)

@@ -1,0 +1,56 @@
+"""Tests for MIOA region growth."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.social.mioa import mioa_region, mioa_union
+from repro.social.network import SocialNetwork
+
+
+@pytest.fixture
+def chain():
+    # 0 -> 1 -> 2 -> 3 with probability 0.5 each hop.
+    net = SocialNetwork(4, directed=True)
+    for u in range(3):
+        net.add_edge(u, u + 1, 0.5)
+    return net
+
+
+class TestMioaRegion:
+    def test_source_always_included(self, chain):
+        region = mioa_region(chain, 0, theta_path=0.9)
+        assert region[0] == pytest.approx(1.0)
+
+    def test_path_probabilities(self, chain):
+        region = mioa_region(chain, 0, theta_path=0.01)
+        assert region[1] == pytest.approx(0.5)
+        assert region[2] == pytest.approx(0.25)
+        assert region[3] == pytest.approx(0.125)
+
+    def test_threshold_cuts_region(self, chain):
+        region = mioa_region(chain, 0, theta_path=0.3)
+        assert set(region) == {0, 1}
+
+    def test_takes_max_probability_path(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.9)
+        net.add_edge(1, 2, 0.9)
+        net.add_edge(0, 2, 0.5)  # direct but weaker than 0.81 path
+        region = mioa_region(net, 0, theta_path=0.01)
+        assert region[2] == pytest.approx(0.81)
+
+    def test_strength_override(self, chain):
+        region = mioa_region(
+            chain, 0, theta_path=0.01, strength=lambda u, v: 0.9
+        )
+        assert region[3] == pytest.approx(0.9**3)
+
+    def test_invalid_threshold(self, chain):
+        with pytest.raises(GraphError):
+            mioa_region(chain, 0, theta_path=0.0)
+
+
+class TestMioaUnion:
+    def test_union_covers_both_sources(self, chain):
+        users = mioa_union(chain, [0, 3], theta_path=0.3)
+        assert users == {0, 1, 3}

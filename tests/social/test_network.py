@@ -1,0 +1,87 @@
+"""Tests for the social network container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.social.network import SocialNetwork
+
+
+class TestConstruction:
+    def test_needs_positive_users(self):
+        with pytest.raises(GraphError):
+            SocialNetwork(0)
+
+    def test_directed_single_arc(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        assert net.out_neighbors(0) == {1: 0.5}
+        assert net.out_neighbors(1) == {}
+        assert net.n_arcs == 1
+
+    def test_undirected_mirrors(self):
+        net = SocialNetwork(3, directed=False)
+        net.add_edge(0, 1, 0.5)
+        assert net.out_neighbors(1) == {0: 0.5}
+        assert net.n_arcs == 2
+        assert net.n_friendships == 1
+
+    def test_rejects_self_loop(self):
+        net = SocialNetwork(2)
+        with pytest.raises(GraphError):
+            net.add_edge(0, 0, 0.5)
+
+    def test_rejects_bad_strength(self):
+        net = SocialNetwork(2)
+        with pytest.raises(GraphError):
+            net.add_edge(0, 1, 1.5)
+
+    def test_rejects_unknown_user(self):
+        net = SocialNetwork(2)
+        with pytest.raises(GraphError):
+            net.add_edge(0, 5, 0.5)
+
+
+class TestQueries:
+    @pytest.fixture
+    def net(self):
+        net = SocialNetwork(5, directed=True)
+        net.add_edge(0, 1, 0.9)
+        net.add_edge(1, 2, 0.8)
+        net.add_edge(2, 3, 0.7)
+        net.add_edge(0, 3, 0.1)
+        return net
+
+    def test_in_neighbors(self, net):
+        assert net.in_neighbors(3) == {2: 0.7, 0: 0.1}
+
+    def test_base_strength_missing_arc(self, net):
+        assert net.base_strength(3, 0) == 0.0
+
+    def test_out_degree(self, net):
+        assert net.out_degree(0) == 2
+
+    def test_average_strength(self, net):
+        assert net.average_strength() == pytest.approx((0.9 + 0.8 + 0.7 + 0.1) / 4)
+
+    def test_average_strength_empty(self):
+        assert SocialNetwork(2).average_strength() == 0.0
+
+    def test_arcs_iteration(self, net):
+        assert (0, 1, 0.9) in set(net.arcs())
+
+    def test_bfs_distances(self, net):
+        distances = net.bfs_distances(0)
+        assert distances[0] == 0
+        assert distances[1] == 1
+        assert distances[3] == 1  # via the direct arc
+        assert distances[2] == 2
+
+    def test_bfs_max_hops(self, net):
+        distances = net.bfs_distances(0, max_hops=1)
+        assert 2 not in distances
+
+    def test_subgraph_diameter(self, net):
+        # Longest shortest path among the members: 0 -> 1 -> 2 (the
+        # 0 -> 3 chord shortcuts the chain's far end).
+        assert net.subgraph_diameter({0, 1, 2, 3}) == 2
+        assert net.subgraph_diameter({0}) == 1  # floor of 1

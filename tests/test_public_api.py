@@ -1,0 +1,48 @@
+"""Tests for the package's public surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_types_importable(self):
+        from repro import (  # noqa: F401
+            Dysim,
+            DysimConfig,
+            IMDPPInstance,
+            Seed,
+            SeedGroup,
+            load_dataset,
+        )
+
+    def test_errors_hierarchy(self):
+        from repro import ReproError
+        from repro.errors import (
+            AlgorithmError,
+            BudgetExceededError,
+            DatasetError,
+            GraphError,
+            MetaGraphError,
+            ProblemError,
+            SchemaError,
+            SimulationError,
+        )
+
+        for error in (
+            AlgorithmError,
+            BudgetExceededError,
+            DatasetError,
+            GraphError,
+            MetaGraphError,
+            ProblemError,
+            SchemaError,
+            SimulationError,
+        ):
+            assert issubclass(error, ReproError)
+        assert issubclass(BudgetExceededError, ProblemError)

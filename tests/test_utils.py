@@ -1,0 +1,75 @@
+"""Tests for deterministic RNG streams and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestRng:
+    def test_same_context_same_stream(self):
+        a = spawn_rng(3, "x", 1)
+        b = spawn_rng(3, "x", 1)
+        assert a.random() == b.random()
+
+    def test_different_context_different_stream(self):
+        a = spawn_rng(3, "x", 1)
+        b = spawn_rng(3, "x", 2)
+        assert a.random() != b.random()
+
+    def test_factory_streams_reproducible(self):
+        factory = RngFactory(11)
+        assert (
+            factory.stream("mc", 0).random()
+            == RngFactory(11).stream("mc", 0).random()
+        )
+
+    def test_child_decorrelates(self):
+        factory = RngFactory(11)
+        child = factory.child("sub")
+        assert child.seed != factory.seed
+        assert (
+            child.stream("mc", 0).random()
+            != factory.stream("mc", 0).random()
+        )
+
+    def test_seed_changes_everything(self):
+        assert (
+            RngFactory(1).stream("a").random()
+            != RngFactory(2).stream("a").random()
+        )
+
+
+class TestValidation:
+    def test_fraction_accepts_bounds(self):
+        assert check_fraction(0.0, "p") == 0.0
+        assert check_fraction(1.0, "p") == 1.0
+
+    def test_fraction_rejects_outside(self):
+        with pytest.raises(ProblemError):
+            check_fraction(1.5, "p")
+        with pytest.raises(ProblemError):
+            check_fraction(-0.1, "p")
+
+    def test_positive(self):
+        assert check_positive(2.0, "x") == 2.0
+        with pytest.raises(ProblemError):
+            check_positive(0.0, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ProblemError):
+            check_non_negative(-1e-9, "x")
+
+    def test_probability_matrix(self):
+        ok = check_probability_matrix(np.array([[0.5, 1.0]]), "m")
+        assert ok.dtype == float
+        with pytest.raises(ProblemError):
+            check_probability_matrix(np.array([[1.1]]), "m")
