@@ -8,6 +8,7 @@ mapping) and writes the series it would plot to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,6 +17,18 @@ from repro.data import load_dataset
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+
+def _env_int(name: str, default: int) -> int:
+    """Replication-count override from the environment (CI smoke)."""
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+#: CI smoke mode: reduced replication counts make the Monte-Carlo
+#: estimates noisier, so figure-shape assertions are relaxed to sanity
+#: checks; the series are still recorded and uploaded as artifacts.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 #: Reproduction-scale sweep parameters (paper values in comments).
 FIG8_BUDGETS = (50.0, 75.0, 100.0, 125.0)     # paper: same
 FIG8_PROMOTIONS = (1, 2, 3)                   # paper: same
@@ -23,8 +36,10 @@ FIG9_BUDGETS = (100.0, 300.0, 500.0)          # paper: 100..500 step 100
 FIG9_PROMOTIONS = (1, 5, 10)                  # paper: 1,5,10,20,40
 FIG9_T = 10                                   # paper: same
 FIG9_COST_SCALE = 4.0                         # keeps seed counts realistic
-ALGO_SAMPLES = 5                              # paper: M=100 (we re-evaluate)
-EVAL_SAMPLES = 30                             # fair re-evaluation samples
+ALGO_SAMPLES = _env_int("REPRO_BENCH_ALGO_SAMPLES", 5)
+EVAL_SAMPLES = _env_int("REPRO_BENCH_EVAL_SAMPLES", 30)
+#: Fig. 12 gives Dysim extra samples (its dense class graphs are noisy).
+FIG12_DYSIM_SAMPLES = _env_int("REPRO_BENCH_DYSIM_SAMPLES", 12)
 
 #: Tight algorithm knobs for the large-figure sweeps.
 FAST_KWARGS = {

@@ -10,7 +10,13 @@ from repro.data import build_course_classes
 from repro.eval.harness import evaluate_group, run_algorithm
 from repro.eval.reporting import format_table
 
-from benchmarks.conftest import ALGO_SAMPLES, EVAL_SAMPLES, record_figure
+from benchmarks.conftest import (
+    ALGO_SAMPLES,
+    EVAL_SAMPLES,
+    FIG12_DYSIM_SAMPLES,
+    SMOKE,
+    record_figure,
+)
 
 ALGORITHMS = ("Dysim", "BGRD", "HAG", "PS")
 
@@ -24,7 +30,9 @@ def _run_study():
             # The dense little class graphs are near-critical, so the
             # MC oracle is noisy; Dysim gets a few more samples (the
             # classes are tiny, this stays cheap).
-            n_samples = 12 if name == "Dysim" else ALGO_SAMPLES
+            n_samples = (
+                FIG12_DYSIM_SAMPLES if name == "Dysim" else ALGO_SAMPLES
+            )
             result = run_algorithm(
                 name, instance, n_samples=n_samples, seed=0
             )
@@ -57,4 +65,6 @@ def test_fig12_course_study(benchmark):
         if table[class_id]["Dysim"]
         >= max(table[class_id][n] for n in ALGORITHMS) * 0.75
     )
-    assert wins >= 3
+    # Smoke mode cuts replication counts, so the shape check drops to
+    # a sanity bound; the full run keeps the paper's majority demand.
+    assert wins >= (1 if SMOKE else 3)

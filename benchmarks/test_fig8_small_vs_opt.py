@@ -5,7 +5,6 @@ b in {50, 75, 100, 125} at T=2; (b) sigma vs T in {1, 2, 3} at b=100.
 Expected shape: Dysim closest to OPT, all baselines below.
 """
 
-import pytest
 
 from repro.data import load_dataset
 from repro.eval.harness import sweep

@@ -22,7 +22,6 @@ from benchmarks.conftest import (
     FIG9_BUDGETS,
     FIG9_COST_SCALE,
     FIG9_PROMOTIONS,
-    FIG9_SCALES,
     FIG9_T,
     record_figure,
 )

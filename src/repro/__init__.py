@@ -13,6 +13,34 @@ Typical usage::
     instance = load_dataset("yelp", budget=80.0, n_promotions=3)
     result = Dysim(instance, DysimConfig()).run()
     print(result.seed_group, result.sigma)
+
+Execution backends
+------------------
+All Monte-Carlo sigma estimation runs through the pluggable
+:mod:`repro.engine` execution backends.  Select one per component::
+
+    from repro import SigmaEstimator
+    est = SigmaEstimator(instance, backend="process", workers=4)
+
+or per algorithm run (``DysimConfig(backend="process", workers=4)``),
+or process-wide (what the CLI's ``--backend/--workers`` flags do)::
+
+    from repro.engine import set_default_backend
+    set_default_backend("process", workers=4)
+
+**Common random numbers guarantee:** Monte-Carlo sample ``i`` always
+replays the random substream derived from ``(root seed, context, i)``
+no matter which backend — or which worker inside a backend — executes
+it, and chunked reductions follow one canonical order.  Estimates are
+therefore bit-identical across ``serial``, ``thread`` and ``process``
+backends, and greedy marginal-gain comparisons stay correlated.
+
+**Worker-count tuning:** ``workers`` defaults to ``min(8, cpu_count)``.
+The ``process`` backend pays one task pickle per chunk plus a one-off
+pool start-up, so it wins once replications are expensive (large
+instances or high sample counts); ``thread`` is GIL-bound and only
+helps when the NumPy share of a step dominates; ``serial`` is fastest
+for the small instances used in tests.
 """
 
 from repro.core.dysim import AdaptiveDysim, Dysim, DysimConfig, DysimResult
@@ -28,6 +56,15 @@ from repro.diffusion import (
     CampaignSimulator,
     DiffusionModel,
     SigmaEstimator,
+)
+from repro.engine import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SigmaCache,
+    ThreadBackend,
+    resolve_backend,
+    set_default_backend,
 )
 from repro.errors import ReproError
 from repro.kg import KnowledgeGraph, MetaGraph, RelevanceEngine, Relationship
@@ -46,17 +83,24 @@ __all__ = [
     "DysimConfig",
     "DysimResult",
     "DynamicsParams",
+    "ExecutionBackend",
     "IMDPPInstance",
     "KnowledgeGraph",
     "MetaGraph",
     "PerceptionState",
+    "ProcessPoolBackend",
     "Relationship",
     "RelevanceEngine",
     "ReproError",
     "Seed",
     "SeedGroup",
+    "SerialBackend",
+    "SigmaCache",
     "SigmaEstimator",
     "SocialNetwork",
+    "ThreadBackend",
+    "resolve_backend",
+    "set_default_backend",
     "build_course_classes",
     "dataset_statistics",
     "load_dataset",

@@ -19,6 +19,7 @@ from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.baselines.cr_greedy import assign_timings
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 
 __all__ = ["run_bgrd"]
 
@@ -28,11 +29,15 @@ def run_bgrd(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     candidate_users: int = 60,
     bundle_size: int = 3,
 ) -> BaselineResult:
     """Run BGRD and return its (budget-feasible) seed group."""
-    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    frozen, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
     utility = instance.base_preference * instance.importance[None, :]
 
     def bundle_of(user: int) -> list[int]:

@@ -19,6 +19,7 @@ from repro.baselines.common import (
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.core.submodular import budgeted_lazy_greedy
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 from repro.utils.rng import spawn_rng
 
 __all__ = ["run_celf_greedy", "run_degree", "run_random"]
@@ -29,10 +30,14 @@ def run_celf_greedy(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     candidate_pairs: int = 120,
 ) -> BaselineResult:
     """Budgeted CELF greedy over user-item pairs (frozen oracle)."""
-    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    frozen, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
 
     with timer() as clock:
         pool = affordable_pairs(instance)
@@ -69,9 +74,13 @@ def run_degree(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
 ) -> BaselineResult:
     """Highest-out-degree users promoting their best-utility item."""
-    _, dynamic = make_estimators(instance, n_samples, seed, model)
+    _, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
     utility = instance.base_preference * instance.importance[None, :]
 
     with timer() as clock:
@@ -102,9 +111,13 @@ def run_random(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
 ) -> BaselineResult:
     """Uniform random affordable pairs in the first promotion."""
-    _, dynamic = make_estimators(instance, n_samples, seed, model)
+    _, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
     rng = spawn_rng(seed, "random-baseline")
 
     with timer() as clock:

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.montecarlo import SigmaEstimator
+from repro.engine import ExecutionBackend, SigmaCache, resolve_backend
 from repro.utils.rng import RngFactory
 
 __all__ = ["BaselineResult", "make_estimators", "affordable_pairs"]
@@ -44,20 +45,33 @@ def make_estimators(
     n_samples: int,
     seed: int,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
 ) -> tuple[SigmaEstimator, SigmaEstimator]:
-    """(frozen, dynamic) estimator pair with decorrelated streams."""
+    """(frozen, dynamic) estimator pair with decorrelated streams.
+
+    Both estimators share one execution backend (resolved once, so a
+    pool backend keeps a single set of workers) and one
+    :class:`~repro.engine.SigmaCache`.
+    """
     factory = RngFactory(seed)
+    resolved = resolve_backend(backend, workers)
+    cache = SigmaCache()
     frozen = SigmaEstimator(
         instance.frozen(),
         model=model,
         n_samples=n_samples,
         rng_factory=factory.child("frozen"),
+        backend=resolved,
+        cache=cache,
     )
     dynamic = SigmaEstimator(
         instance,
         model=model,
         n_samples=n_samples,
         rng_factory=factory.child("dynamic"),
+        backend=resolved,
+        cache=cache,
     )
     return frozen, dynamic
 

@@ -20,6 +20,7 @@ from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.baselines.cr_greedy import assign_timings
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 
 __all__ = ["run_drhga"]
 
@@ -29,11 +30,15 @@ def run_drhga(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     users_per_item: int = 3,
     candidate_users: int = 40,
 ) -> BaselineResult:
     """Run DRHGA and return its seed group."""
-    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    frozen, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
 
     with timer() as clock:
         items_by_importance = list(np.argsort(-instance.importance))

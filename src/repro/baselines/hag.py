@@ -21,6 +21,7 @@ from repro.baselines.common import (
 from repro.baselines.cr_greedy import assign_timings
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 
 __all__ = ["run_hag"]
 
@@ -30,10 +31,14 @@ def run_hag(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     candidate_pairs: int = 120,
 ) -> BaselineResult:
     """Run HAG and return its seed group."""
-    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    frozen, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
 
     with timer() as clock:
         pool = affordable_pairs(instance)

@@ -18,6 +18,7 @@ from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.core.dysim.nominees import rank_candidates
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 
 __all__ = ["run_opt"]
 
@@ -27,6 +28,8 @@ def run_opt(
     n_samples: int = 20,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     universe_size: int = 10,
     max_seeds: int = 4,
     per_user_cap: int = 2,
@@ -37,7 +40,9 @@ def run_opt(
     heuristic scores hub users highly for *every* item, and without
     the cap the whole universe can collapse onto one user's items.
     """
-    _, dynamic = make_estimators(instance, n_samples, seed, model)
+    _, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
 
     with timer() as clock:
         ranked = rank_candidates(instance, None)

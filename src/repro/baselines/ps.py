@@ -20,6 +20,7 @@ from repro.baselines.common import (
 from repro.baselines.cr_greedy import assign_timings
 from repro.core.problem import IMDPPInstance
 from repro.diffusion.models import DiffusionModel
+from repro.engine import ExecutionBackend
 from repro.social.mioa import mioa_region
 
 __all__ = ["run_ps"]
@@ -30,11 +31,15 @@ def run_ps(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     theta_path: float = 1.0 / 320.0,
     discount: float = 0.5,
 ) -> BaselineResult:
     """Run PS and return its seed group."""
-    frozen, dynamic = make_estimators(instance, n_samples, seed, model)
+    frozen, dynamic = make_estimators(
+        instance, n_samples, seed, model, backend, workers
+    )
 
     with timer() as clock:
         # Score every user once from its MIOA region: reachable

@@ -5,7 +5,13 @@ Usage examples::
     python -m repro.cli stats --dataset yelp
     python -m repro.cli run --dataset yelp --algorithm Dysim \
         --budget 80 --promotions 3
-    python -m repro.cli compare --dataset amazon-small --budget 100
+    python -m repro.cli compare --dataset amazon-small --budget 100 \
+        --backend process --workers 4
+
+``--backend`` selects where Monte-Carlo replications run (``serial``,
+``thread`` or ``process``); results are bit-identical across backends
+for a fixed ``--seed`` because every sample replays the same random
+substream regardless of the executing worker.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import argparse
 import sys
 
 from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.engine import BACKEND_NAMES, set_default_backend
 from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
 from repro.eval.metrics import campaign_report
 from repro.eval.reporting import format_table
@@ -41,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--samples", type=int, default=8)
     run.add_argument("--seed", type=int, default=0)
+    _add_backend_args(run)
 
     compare = sub.add_parser("compare", help="run all algorithms")
     _add_dataset_args(compare)
@@ -50,7 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip", nargs="*", default=["OPT"],
         help="algorithms to leave out (OPT by default; it is slow)",
     )
+    _add_backend_args(compare)
     return parser
+
+
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=sorted(BACKEND_NAMES),
+        help="Monte-Carlo execution backend (results are bit-identical "
+        "across backends for a fixed seed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker count for thread/process backends "
+        "(default: min(8, cpu count))",
+    )
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return number
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -80,6 +115,7 @@ def _command_stats(args) -> int:
 
 def _command_run(args) -> int:
     instance = _load(args)
+    set_default_backend(args.backend, args.workers)
     result = run_algorithm(
         args.algorithm, instance, n_samples=args.samples, seed=args.seed
     )
@@ -95,6 +131,7 @@ def _command_run(args) -> int:
 
 def _command_compare(args) -> int:
     instance = _load(args)
+    set_default_backend(args.backend, args.workers)
     names = [n for n in ALGORITHMS if n not in set(args.skip)]
     rows = []
     for name in names:

@@ -21,6 +21,7 @@ from repro.core.dysim.algorithm import DysimConfig
 from repro.core.dysim.clustering import average_relevance_matrices
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.campaign import CampaignSimulator
+from repro.engine import ReplicationTask, resolve_backend
 from repro.perception.state import PerceptionState
 from repro.social.distances import bfs_hops
 from repro.utils.rng import RngFactory
@@ -49,6 +50,9 @@ class AdaptiveDysim:
         self.config = config or DysimConfig()
         self.simulator = CampaignSimulator(instance, model=self.config.model)
         self._factory = RngFactory(self.config.seed).child("adaptive")
+        self._backend = resolve_backend(
+            self.config.backend, self.config.workers
+        )
 
     # ------------------------------------------------------------------
     def run(self, world_seed: int = 0) -> AdaptiveResult:
@@ -105,21 +109,26 @@ class AdaptiveDysim:
         promotion: int,
         horizon: int,
     ) -> float:
-        """Monte-Carlo spread of playing ``seeds`` from the state."""
+        """Monte-Carlo spread of playing ``seeds`` from the state.
+
+        Replications fan out through the configured execution backend;
+        sample ``i`` replays the substream ``("plan", promotion, i)``
+        on every backend, preserving common random numbers.
+        """
         horizon = min(horizon, self.instance.n_promotions)
-        total = 0.0
         n = self.config.n_samples_inner
-        for i in range(n):
-            rng = self._factory.stream("plan", promotion, i)
-            outcome = self.simulator.run(
-                SeedGroup(seeds),
-                rng,
-                until_promotion=horizon,
-                initial_state=state,
-                start_promotion=promotion,
-            )
-            total += outcome.sigma
-        return total / n
+        task = ReplicationTask(
+            instance=self.instance,
+            model=self.config.model,
+            rng_seed=self._factory.seed,
+            rng_context=("plan", promotion),
+            seed_group=SeedGroup(seeds),
+            until_promotion=horizon,
+            initial_state=state,
+            start_promotion=promotion,
+        )
+        result = self._backend.run(task, n)
+        return float(result.sigmas.sum()) / n
 
     def _is_antagonistic(
         self,

@@ -37,6 +37,7 @@ from repro.core.dysim.timing import best_timed_seed
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.montecarlo import SigmaEstimator
+from repro.engine import SigmaCache, resolve_backend
 from repro.utils.rng import RngFactory
 
 __all__ = ["DysimConfig", "DysimResult", "Dysim"]
@@ -78,6 +79,13 @@ class DysimConfig:
         Trigger model for all internal evaluation.
     seed:
         Root of every random substream Dysim uses.
+    backend:
+        Execution backend for all Monte-Carlo work: an
+        :class:`~repro.engine.ExecutionBackend`, a name (``"serial"``,
+        ``"thread"``, ``"process"``) or ``None`` for the process-wide
+        default.  Results are bit-identical across backends.
+    workers:
+        Worker count when ``backend`` is given by name.
     """
 
     n_samples_selection: int = 12
@@ -94,6 +102,8 @@ class DysimConfig:
     use_fallbacks: bool = True
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE
     seed: int = 0
+    backend: object | str | None = None
+    workers: int | None = None
 
 
 @dataclass
@@ -108,6 +118,9 @@ class DysimResult:
     runtime_seconds: float
     n_oracle_calls: int
     group_orders: list[list[int]] = field(default_factory=list)
+    backend: str = "serial"
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class Dysim:
@@ -126,17 +139,28 @@ class Dysim:
         self.instance = instance
         self.config = config or DysimConfig()
         factory = RngFactory(self.config.seed)
+        self._backend = resolve_backend(
+            self.config.backend, self.config.workers
+        )
+        # One cache backs both estimators (keys embed the estimator
+        # config, so frozen/dynamic estimates cannot collide) to give
+        # DysimResult a single hit/miss account.
+        self._cache = SigmaCache()
         self._frozen_estimator = SigmaEstimator(
             instance.frozen(),
             model=self.config.model,
             n_samples=self.config.n_samples_selection,
             rng_factory=factory.child("frozen"),
+            backend=self._backend,
+            cache=self._cache,
         )
         self._dynamic_estimator = SigmaEstimator(
             instance,
             model=self.config.model,
             n_samples=self.config.n_samples_inner,
             rng_factory=factory.child("dynamic"),
+            backend=self._backend,
+            cache=self._cache,
         )
         self._rng = factory.stream("driver")
 
@@ -203,6 +227,9 @@ class Dysim:
                 + self._dynamic_estimator.n_evaluations
             ),
             group_orders=group_orders,
+            backend=self._backend.name,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ ascending (Procedure 4).  Sec. VI-D additionally evaluates PF
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -167,7 +167,10 @@ def _relative_market_share(
         rival_share = max(
             (shares[r] for r in rivals if r != item), default=0.0
         )
-        ratios.append(shares[item] / rival_share if rival_share > 0 else shares[item] + 1.0)
+        if rival_share > 0:
+            ratios.append(shares[item] / rival_share)
+        else:
+            ratios.append(shares[item] + 1.0)
     return float(np.mean(ratios)) if ratios else 0.0
 
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.core.submodular import budgeted_lazy_greedy

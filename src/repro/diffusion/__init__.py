@@ -1,12 +1,19 @@
 """Multi-promotion diffusion: trigger models, simulator, Monte Carlo."""
 
-from repro.diffusion.models import DiffusionModel, aggregated_influence
+from repro.diffusion.models import (
+    DiffusionModel,
+    adoption_likelihood,
+    aggregated_influence,
+    aggregated_influence_vector,
+)
 from repro.diffusion.campaign import CampaignOutcome, CampaignSimulator
 from repro.diffusion.montecarlo import MonteCarloEstimate, SigmaEstimator
 
 __all__ = [
     "DiffusionModel",
+    "adoption_likelihood",
     "aggregated_influence",
+    "aggregated_influence_vector",
     "CampaignOutcome",
     "CampaignSimulator",
     "MonteCarloEstimate",

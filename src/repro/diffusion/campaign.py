@@ -230,16 +230,23 @@ class CampaignSimulator:
                 # Item associations: being *promoted* item may trigger
                 # extra adoptions of relevant items regardless of the
                 # decision on the promoted item itself (footnote 9).
+                # The candidate filter and the coin flips are batched;
+                # ``rng.random(k)`` consumes the identical substream as
+                # ``k`` scalar draws, so realizations match the former
+                # per-item loop bit for bit.
                 extra = state.extra_adoption_probs(target, promoter, item)
                 candidates = np.flatnonzero(
                     extra > self.extra_adoption_floor
                 )
-                for other in candidates:
-                    other = int(other)
-                    if other == item or state.has_adopted(target, other):
-                        continue
-                    if rng.random() < extra[other]:
-                        step_adoptions[target].add(other)
+                if candidates.size:
+                    adopted_mask = state.adopted_row(target)
+                    eligible = candidates[
+                        (candidates != item) & ~adopted_mask[candidates]
+                    ]
+                    if eligible.size:
+                        draws = rng.random(eligible.size)
+                        for other in eligible[draws < extra[eligible]]:
+                            step_adoptions[target].add(int(other))
 
         committed: list[tuple[int, int]] = []
         commit_lists: dict[int, list[int]] = {}

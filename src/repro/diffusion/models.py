@@ -23,9 +23,16 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from repro.perception.state import PerceptionState
 
-__all__ = ["DiffusionModel", "aggregated_influence"]
+__all__ = [
+    "DiffusionModel",
+    "aggregated_influence",
+    "aggregated_influence_vector",
+    "adoption_likelihood",
+]
 
 
 class DiffusionModel(enum.Enum):
@@ -57,3 +64,58 @@ def aggregated_influence(
     if model is DiffusionModel.INDEPENDENT_CASCADE:
         return 1.0 - probability_none
     return min(1.0, total)
+
+
+def aggregated_influence_vector(
+    state: PerceptionState,
+    model: DiffusionModel,
+    user: int,
+) -> np.ndarray:
+    """``AIS(user, .)`` over all items at once.
+
+    Vectorized form of :func:`aggregated_influence`: one masked NumPy
+    update per in-neighbour instead of a Python loop per item.  The
+    per-item multiplication/addition order matches the scalar path
+    (neighbours are visited in the same order), so each entry equals
+    the scalar result exactly.
+    """
+    use_ic = model is DiffusionModel.INDEPENDENT_CASCADE
+    probability_none = np.ones(state.n_items)
+    total = np.zeros(state.n_items)
+    for neighbour in state.network.in_neighbors(user):
+        adopted = state.adopted_row(neighbour)
+        if not adopted.any():
+            continue
+        strength = state.influence(neighbour, user)
+        if strength <= 0.0:
+            continue
+        if use_ic:
+            probability_none[adopted] *= 1.0 - strength
+        else:
+            total[adopted] += strength
+    if use_ic:
+        return 1.0 - probability_none
+    return np.minimum(1.0, total)
+
+
+def adoption_likelihood(
+    state: PerceptionState,
+    model: DiffusionModel,
+    users: set[int],
+) -> float:
+    """``pi_tau`` of Eq. (13) for one realized final state.
+
+    Sums, over users in the market and their not-yet-adopted items,
+    the probability of being promoted next promotion (``AIS``) times
+    the current preference.  The per-item products run through the
+    vectorized mask path; ``tests/diffusion/test_vectorized.py`` pins
+    it against the scalar :func:`aggregated_influence` oracle.
+    """
+    total = 0.0
+    for user in sorted(users):
+        ais = aggregated_influence_vector(state, model, user)
+        mask = (ais > 0.0) & ~state.adopted_row(user)
+        if not mask.any():
+            continue
+        total += float((ais[mask] * state.preference(user)[mask]).sum())
+    return total

@@ -6,6 +6,13 @@ sample ``i`` of every seed group replays the same random substream, so
 greedy marginal-gain comparisons see correlated worlds and far less
 noise — the standard trick that makes lazy/CELF greedy stable.
 
+Replications run through a pluggable :mod:`repro.engine` execution
+backend (serial, thread pool or process pool); every backend replays
+the same substreams over the same canonical chunks, so estimates are
+bit-identical regardless of where they ran.  Results are memoized in a
+:class:`~repro.engine.cache.SigmaCache` keyed by the canonicalized seed
+group plus the estimator configuration.
+
 The same pass optionally collects everything the Dysim phases need:
 
 * ``sigma`` restricted to a target market (``sigma_tau`` for MA),
@@ -21,36 +28,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import IMDPPInstance, SeedGroup
-from repro.diffusion.campaign import CampaignSimulator
-from repro.diffusion.models import DiffusionModel, aggregated_influence
-from repro.perception.state import PerceptionState
+from repro.diffusion.models import DiffusionModel, adoption_likelihood
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.cache import SigmaCache
+from repro.engine.replication import ReplicationTask
 from repro.utils.rng import RngFactory
 
 __all__ = ["MonteCarloEstimate", "SigmaEstimator", "adoption_likelihood"]
-
-
-def adoption_likelihood(
-    state: PerceptionState,
-    model: DiffusionModel,
-    users: set[int],
-) -> float:
-    """``pi_tau`` of Eq. (13) for one realized final state.
-
-    Sums, over users in the market and their not-yet-adopted items,
-    the probability of being promoted next promotion (``AIS``) times
-    the current preference.
-    """
-    total = 0.0
-    for user in users:
-        preference = state.preference(user)
-        adopted = state.adopted[user]
-        for item in range(state.n_items):
-            if item in adopted:
-                continue
-            ais = aggregated_influence(state, model, user, item)
-            if ais > 0.0:
-                total += ais * preference[item]
-    return total
 
 
 @dataclass
@@ -80,6 +64,16 @@ class SigmaEstimator:
         inner loops use fewer for speed).
     rng_factory:
         Root of the random substreams; defaults to seed 0.
+    backend:
+        Where replications run — an :class:`ExecutionBackend`, one of
+        the names ``"serial"`` / ``"thread"`` / ``"process"``, or
+        ``None`` for the process-wide default (serial unless the CLI's
+        ``--backend`` flag configured otherwise).
+    workers:
+        Worker count for a backend given by name (ignored otherwise).
+    cache:
+        Estimate memoization; pass a shared :class:`SigmaCache` to pool
+        memoization across estimators, or ``None`` for a private one.
     """
 
     def __init__(
@@ -88,16 +82,32 @@ class SigmaEstimator:
         model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
         n_samples: int = 20,
         rng_factory: RngFactory | None = None,
+        backend: ExecutionBackend | str | None = None,
+        workers: int | None = None,
+        cache: SigmaCache | None = None,
     ):
         self.instance = instance
         self.model = model
         self.n_samples = int(n_samples)
         self.rng_factory = rng_factory or RngFactory(0)
-        self.simulator = CampaignSimulator(instance, model=model)
+        self.backend = resolve_backend(backend, workers)
+        self.cache = cache if cache is not None else SigmaCache()
+        # Cache keys embed id(instance); pinning makes that id stable
+        # for the cache's lifetime (no address reuse after a GC).
+        self.cache.pin(instance)
         self.n_evaluations = 0
-        self._cache: dict[tuple, MonteCarloEstimate] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Estimates served from the cache so far."""
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Estimates that had to run Monte-Carlo replications."""
+        return self.cache.misses
+
     def _cache_key(
         self,
         seed_group: SeedGroup,
@@ -105,11 +115,17 @@ class SigmaEstimator:
         restrict_key: tuple,
         flags: tuple,
     ) -> tuple:
+        # The estimator configuration is part of the key so one cache
+        # can safely back several estimators (e.g. frozen + dynamic).
         return (
             tuple(sorted((s.user, s.item, s.promotion) for s in seed_group)),
             until_promotion,
             restrict_key,
             flags,
+            self.n_samples,
+            self.model.value,
+            self.rng_factory.seed,
+            id(self.instance),
         )
 
     def estimate(
@@ -127,64 +143,55 @@ class SigmaEstimator:
         )
         flags = (compute_likelihood, collect_weights, collect_adoptions)
         key = self._cache_key(seed_group, until_promotion, restrict_key, flags)
-        cached = self._cache.get(key)
+        cached = self.cache.get(key)
         if cached is not None:
             return cached
 
-        sigmas = np.zeros(self.n_samples)
-        restricted = np.zeros(self.n_samples)
-        likelihoods = np.zeros(self.n_samples)
-        weights_sum: np.ndarray | None = None
-        adoption_sum: np.ndarray | None = None
-
-        for i in range(self.n_samples):
-            rng = self.rng_factory.stream("mc", i)
-            outcome = self.simulator.run(
-                seed_group, rng, until_promotion=until_promotion
-            )
-            self.n_evaluations += 1
-            sigmas[i] = outcome.sigma
-            if restrict_users is not None:
-                restricted[i] = outcome.sigma_restricted(restrict_users)
-            if compute_likelihood:
-                likelihoods[i] = adoption_likelihood(
-                    outcome.state,
-                    self.model,
-                    restrict_users
-                    if restrict_users is not None
-                    else set(range(self.instance.n_users)),
-                )
-            if collect_weights:
-                if weights_sum is None:
-                    weights_sum = np.zeros_like(outcome.state.weights)
-                weights_sum += outcome.state.weights
-            if collect_adoptions:
-                if adoption_sum is None:
-                    adoption_sum = np.zeros(
-                        outcome.new_adoptions.shape, dtype=float
-                    )
-                adoption_sum += outcome.new_adoptions
+        task = ReplicationTask(
+            instance=self.instance,
+            model=self.model,
+            rng_seed=self.rng_factory.seed,
+            rng_context=("mc",),
+            seed_group=seed_group,
+            until_promotion=until_promotion,
+            restrict_users=(
+                frozenset(restrict_users)
+                if restrict_users is not None
+                else None
+            ),
+            compute_likelihood=compute_likelihood,
+            collect_weights=collect_weights,
+            collect_adoptions=collect_adoptions,
+        )
+        result = self.backend.run(task, self.n_samples)
+        self.n_evaluations += result.n_samples
 
         estimate = MonteCarloEstimate(
-            sigma=float(sigmas.mean()),
-            sigma_std=float(sigmas.std()),
+            sigma=float(result.sigmas.mean()),
+            sigma_std=float(result.sigmas.std()),
             n_samples=self.n_samples,
             sigma_restricted=(
-                float(restricted.mean()) if restrict_users is not None else None
+                float(result.restricted.mean())
+                if restrict_users is not None
+                else None
             ),
             likelihood=(
-                float(likelihoods.mean()) if compute_likelihood else None
+                float(result.likelihoods.mean())
+                if compute_likelihood
+                else None
             ),
             mean_weights=(
-                weights_sum / self.n_samples if weights_sum is not None else None
+                result.weights_sum / self.n_samples
+                if result.weights_sum is not None
+                else None
             ),
             adoption_frequency=(
-                adoption_sum / self.n_samples
-                if adoption_sum is not None
+                result.adoption_sum / self.n_samples
+                if result.adoption_sum is not None
                 else None
             ),
         )
-        self._cache[key] = estimate
+        self.cache.put(key, estimate)
         return estimate
 
     def sigma(self, seed_group: SeedGroup) -> float:
@@ -192,5 +199,10 @@ class SigmaEstimator:
         return self.estimate(seed_group).sigma
 
     def clear_cache(self) -> None:
-        """Drop memoized estimates (after the instance state changed)."""
-        self._cache.clear()
+        """Drop memoized estimates (after the instance state changed).
+
+        Note: this clears the *whole* backing :class:`SigmaCache` — if
+        the cache is shared across estimators (as in ``Dysim`` and
+        ``make_estimators``), their entries are evicted too.
+        """
+        self.cache.clear()

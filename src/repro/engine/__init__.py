@@ -1,0 +1,62 @@
+"""Parallel Monte-Carlo execution engine.
+
+``repro.engine`` turns sigma estimation — the hottest path in the
+reproduction — into a pluggable service with three moving parts:
+
+* **Backends** (:mod:`repro.engine.backends`): serial, thread-pool and
+  process-pool executors that fan Monte-Carlo replications out in
+  canonical chunks.  Sample ``i`` replays the same random substream on
+  every backend (common random numbers), and chunked reductions follow
+  a fixed order, so all backends return bit-identical estimates.
+* **Replication** (:mod:`repro.engine.replication`): the picklable task
+  description and the chunk runner every backend dispatches.
+* **Cache** (:mod:`repro.engine.cache`): LRU memoization of estimates
+  with hit/miss counters, keyed by seed group + estimator config.
+
+Backend selection::
+
+    from repro import SigmaEstimator
+    est = SigmaEstimator(instance, backend="process", workers=4)
+
+or process-wide (what the CLI's ``--backend/--workers`` flags do)::
+
+    from repro.engine import set_default_backend
+    set_default_backend("process", workers=4)
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.engine.cache import CacheStats, SigmaCache
+from repro.engine.replication import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkResult,
+    ReplicationTask,
+    chunk_indices,
+    run_chunk,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CacheStats",
+    "ChunkResult",
+    "DEFAULT_CHUNK_SIZE",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ReplicationTask",
+    "SerialBackend",
+    "SigmaCache",
+    "ThreadBackend",
+    "chunk_indices",
+    "get_default_backend",
+    "resolve_backend",
+    "run_chunk",
+    "set_default_backend",
+]

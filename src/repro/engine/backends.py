@@ -1,0 +1,243 @@
+"""Execution backends: where Monte-Carlo replications actually run.
+
+The estimator hands a :class:`~repro.engine.replication.ReplicationTask`
+to a backend; the backend fans the canonical sample chunks out to its
+workers and merges the results in chunk order.  Because every backend
+dispatches the same :func:`~repro.engine.replication.run_chunk` over the
+same partition, results are bit-identical across backends — see the
+``repro.engine.replication`` module docstring for why.
+
+Choosing a backend
+------------------
+``serial``
+    No concurrency, no overhead.  The default, and the fastest option
+    for the small instances used in tests.
+``thread``
+    A shared ``ThreadPoolExecutor``.  Replications are largely pure
+    Python, so the GIL caps the speedup; threads pay off only when the
+    NumPy share of a step dominates.  Cheap to spin up, useful for
+    overlapping many small estimates.
+``process``
+    A ``ProcessPoolExecutor``.  True parallelism; pays one pickle of
+    the task per chunk plus a one-off pool start-up, so it wins once
+    replications are expensive (large instances or high sample counts).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Protocol, runtime_checkable
+
+from repro.engine.replication import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkResult,
+    ReplicationTask,
+    chunk_indices,
+    run_chunk,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "BACKEND_NAMES",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Minimal contract every execution backend satisfies."""
+
+    name: str
+
+    def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
+        """Execute ``n_samples`` replications of ``task``."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """Run every chunk in the calling thread (the reference backend)."""
+
+    name = "serial"
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.chunk_size = int(chunk_size)
+
+    def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
+        return ChunkResult.merge(
+            run_chunk(task, chunk)
+            for chunk in chunk_indices(n_samples, self.chunk_size)
+        )
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+class _PoolBackend:
+    """Shared executor plumbing for thread / process backends."""
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self.chunk_size = int(chunk_size)
+        self._executor: concurrent.futures.Executor | None = None
+        self._closed = False
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    @property
+    def executor(self) -> concurrent.futures.Executor:
+        """The lazily-created, reused worker pool."""
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        chunks = chunk_indices(n_samples, self.chunk_size)
+        if len(chunks) <= 1:
+            # One chunk cannot be parallelized; skip the executor (and,
+            # for process pools, the pickling round trip) entirely.
+            return ChunkResult.merge(run_chunk(task, c) for c in chunks)
+        # ``Executor.map`` yields results in submission order, which is
+        # the canonical chunk order — exactly what merge() requires.
+        results = self.executor.map(run_chunk, (task for _ in chunks), chunks)
+        return ChunkResult.merge(results)
+
+    def close(self) -> None:
+        # Terminal: further run()/executor access raises rather than
+        # silently resurrecting an orphan pool nothing would close.
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        # Safety net: a backend resolved per algorithm run (e.g.
+        # ``DysimConfig(backend="process")``) may never see an explicit
+        # close(); release its workers when the backend is collected.
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Fan chunks out to a thread pool (GIL-bound; low overhead)."""
+
+    name = "thread"
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-engine",
+        )
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Fan chunks out to worker processes (true parallelism)."""
+
+    name = "process"
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+
+
+#: Constructors for the spelled-out backend names (CLI / config).
+BACKEND_NAMES = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessPoolBackend,
+}
+
+_default_backend: ExecutionBackend | None = None
+
+
+def set_default_backend(
+    backend: ExecutionBackend | str | None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Install the process-wide default backend and return it.
+
+    Estimators constructed without an explicit backend use this one;
+    the CLI's ``--backend/--workers`` flags route through here so every
+    algorithm in a run shares one worker pool.
+    """
+    global _default_backend
+    if _default_backend is not None:
+        _default_backend.close()
+    if backend is None:
+        _default_backend = None
+    else:
+        _default_backend = resolve_backend(backend, workers)
+    return get_default_backend()
+
+
+def get_default_backend() -> ExecutionBackend:
+    """The process-wide default backend (serial unless configured)."""
+    global _default_backend
+    if _default_backend is None:
+        _default_backend = SerialBackend()
+    return _default_backend
+
+
+def resolve_backend(
+    backend: ExecutionBackend | str | None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Turn a backend spec (name, instance or None) into a backend.
+
+    ``None`` resolves to the process-wide default; a string looks up
+    :data:`BACKEND_NAMES`; an object implementing the protocol is
+    returned as-is (``workers`` is ignored for instances).
+    """
+    if backend is None:
+        return get_default_backend()
+    if isinstance(backend, str):
+        try:
+            factory = BACKEND_NAMES[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {sorted(BACKEND_NAMES)}"
+            ) from None
+        if factory is SerialBackend:
+            return SerialBackend()
+        return factory(workers=workers)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    raise TypeError(f"not an execution backend: {backend!r}")

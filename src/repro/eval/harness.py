@@ -25,6 +25,7 @@ from repro.core.dysim import Dysim, DysimConfig
 from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.montecarlo import SigmaEstimator
+from repro.engine import ExecutionBackend
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -41,6 +42,8 @@ def run_dysim(
     n_samples: int = 12,
     seed: int = 0,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
     **config_overrides,
 ) -> BaselineResult:
     """Adapter exposing Dysim through the baseline interface."""
@@ -49,6 +52,8 @@ def run_dysim(
         "n_samples_inner": n_samples,
         "model": model,
         "seed": seed,
+        "backend": backend,
+        "workers": workers,
         **config_overrides,  # may override the sample counts
     }
     config = DysimConfig(**config_kwargs)
@@ -63,6 +68,9 @@ def run_dysim(
             "n_markets": len(result.markets),
             "fallback": result.fallback_used,
             "n_oracle_calls": result.n_oracle_calls,
+            "backend": result.backend,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
         },
     )
 
@@ -101,6 +109,8 @@ def evaluate_group(
     n_samples: int = 50,
     seed: int = 12345,
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
 ) -> float:
     """Fair re-evaluation of any seed group (shared random worlds)."""
     estimator = SigmaEstimator(
@@ -108,6 +118,8 @@ def evaluate_group(
         model=model,
         n_samples=n_samples,
         rng_factory=RngFactory(seed),
+        backend=backend,
+        workers=workers,
     )
     return estimator.sigma(seed_group)
 

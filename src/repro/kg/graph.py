@@ -11,7 +11,7 @@ per-(edge-type) biadjacency matrices between node-type groups.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import numpy as np
 from scipy import sparse
@@ -20,6 +20,11 @@ from repro.errors import GraphError, SchemaError
 from repro.kg.schema import NodeType, Schema
 
 __all__ = ["KnowledgeGraph"]
+
+
+def _node_adjacency() -> defaultdict:
+    """Picklable factory for per-edge-type adjacency maps."""
+    return defaultdict(set)
 
 
 class KnowledgeGraph:
@@ -46,9 +51,12 @@ class KnowledgeGraph:
         self._node_type: dict[int, NodeType] = {}
         self._node_label: dict[int, str] = {}
         self._nodes_by_type: dict[NodeType, list[int]] = defaultdict(list)
-        # adjacency[edge_type][node] -> set of neighbours
+        # adjacency[edge_type][node] -> set of neighbours.  The factory
+        # is a module-level function (not a lambda) so graphs stay
+        # picklable — the parallel execution backends ship instances to
+        # worker processes.
         self._adjacency: dict[str, dict[int, set[int]]] = defaultdict(
-            lambda: defaultdict(set)
+            _node_adjacency
         )
         self._edge_count = 0
         self._next_node = 0

@@ -21,7 +21,6 @@ strengths grow only after the users co-adopt (Sec. VI-F case 3).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

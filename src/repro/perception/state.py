@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kg.metagraph import Relationship
 from repro.kg.relevance import RelevanceEngine
 from repro.perception.association import extra_adoption_probabilities
 from repro.perception.influence import adoption_similarity, influence_strength
@@ -64,6 +63,11 @@ class PerceptionState:
         self.n_items = relevance.n_items
         self.weights = np.array(initial_weights, dtype=float, copy=True)
         self.adopted: list[set[int]] = [set() for _ in range(self.n_users)]
+        # Dense mirror of ``adopted`` for the vectorized diffusion and
+        # likelihood paths; kept in sync by apply_step_adoptions.
+        self._adopted_mask = np.zeros(
+            (self.n_users, self.n_items), dtype=bool
+        )
         # accumulated[m, y] = sum over adopted a of s(a, y | m); lazily
         # allocated per user on first adoption.
         self._accumulated: dict[int, np.ndarray] = {}
@@ -81,6 +85,7 @@ class PerceptionState:
         clone.n_items = self.n_items
         clone.weights = self.weights.copy()
         clone.adopted = [set(items) for items in self.adopted]
+        clone._adopted_mask = self._adopted_mask.copy()
         clone._accumulated = {
             user: acc.copy() for user, acc in self._accumulated.items()
         }
@@ -97,6 +102,14 @@ class PerceptionState:
     def adoption_set(self, user: int) -> set[int]:
         """``A(u, zeta_t)`` — copy of the user's adoption set."""
         return set(self.adopted[user])
+
+    def adopted_row(self, user: int) -> np.ndarray:
+        """``A(u, zeta_t)`` as a boolean (n_items,) row.
+
+        The returned array is a live view — callers must not write to
+        it.  It backs the vectorized diffusion/likelihood inner loops.
+        """
+        return self._adopted_mask[user]
 
     def preference(self, user: int) -> np.ndarray:
         """``Ppref(user, ., zeta_t)`` over all items (cached)."""
@@ -207,6 +220,7 @@ class PerceptionState:
                 if item not in history:
                     accumulated += self.relevance.matrices[:, item, :]
                     history.add(item)
+                    self._adopted_mask[user, item] = True
             self._preference_cache.pop(user, None)
 
     def mark_adopted(self, user: int, item: int) -> bool:

@@ -12,7 +12,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator
 
-import numpy as np
 
 from repro.errors import GraphError
 

@@ -1,6 +1,5 @@
 """Additional tests for the adaptive variant's internal policies."""
 
-import numpy as np
 import pytest
 
 from repro.core.dysim import AdaptiveDysim, DysimConfig

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.dysim import AdaptiveDysim, Dysim, DysimConfig
-from repro.core.problem import SeedGroup
 
 from tests.conftest import build_tiny_instance
 

@@ -11,7 +11,7 @@ from repro.data import (
 )
 from repro.data.courses import COURSE_CLASSES, COURSE_NAMES
 from repro.data.registry import dataset_spec
-from repro.data.synthetic import SyntheticSpec, build_dataset, standard_metagraphs
+from repro.data.synthetic import SyntheticSpec, standard_metagraphs
 from repro.errors import DatasetError
 
 

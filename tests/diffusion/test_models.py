@@ -1,6 +1,5 @@
 """Tests for the trigger-model module beyond AIS (covered elsewhere)."""
 
-import pytest
 
 from repro.diffusion.models import DiffusionModel, aggregated_influence
 

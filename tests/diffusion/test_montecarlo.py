@@ -1,6 +1,5 @@
 """Tests for the Monte-Carlo sigma estimator and Eq. (13) likelihood."""
 
-import numpy as np
 import pytest
 
 from repro.core.problem import Seed, SeedGroup

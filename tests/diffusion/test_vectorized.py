@@ -1,0 +1,107 @@
+"""Vectorized AIS / likelihood paths vs. the scalar reference oracle.
+
+``adoption_likelihood`` and ``aggregated_influence_vector`` replaced
+per-item Python loops with masked NumPy operations; these tests pin the
+vectorized paths against the original scalar formulation (kept here as
+the reference oracle) on a variety of perception states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.models import (
+    DiffusionModel,
+    adoption_likelihood,
+    aggregated_influence,
+    aggregated_influence_vector,
+)
+
+from tests.conftest import build_tiny_instance
+
+MODELS = (
+    DiffusionModel.INDEPENDENT_CASCADE,
+    DiffusionModel.LINEAR_THRESHOLD,
+)
+
+
+def scalar_adoption_likelihood(state, model, users):
+    """The pre-vectorization reference implementation (the oracle)."""
+    total = 0.0
+    for user in users:
+        preference = state.preference(user)
+        adopted = state.adopted[user]
+        for item in range(state.n_items):
+            if item in adopted:
+                continue
+            ais = aggregated_influence(state, model, user, item)
+            if ais > 0.0:
+                total += ais * preference[item]
+    return total
+
+
+def _states():
+    """A spread of perception states: empty, sparse, dense adoption."""
+    adoption_patterns = [
+        {},
+        {0: [0]},
+        {0: [0], 5: [0]},
+        {0: [0, 1], 2: [3], 4: [2]},
+        {u: [0, 1, 2, 3] for u in range(6)},
+    ]
+    for pattern in adoption_patterns:
+        state = build_tiny_instance().new_state()
+        if pattern:
+            state.apply_step_adoptions(pattern)
+        yield pattern, state
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestAisVector:
+    def test_matches_scalar_exactly(self, model):
+        """Elementwise float equality — same operations, same order."""
+        for pattern, state in _states():
+            for user in range(state.n_users):
+                vector = aggregated_influence_vector(state, model, user)
+                scalar = np.array([
+                    aggregated_influence(state, model, user, item)
+                    for item in range(state.n_items)
+                ])
+                assert np.array_equal(vector, scalar), (pattern, user)
+
+    def test_range_and_shape(self, model):
+        for _, state in _states():
+            vector = aggregated_influence_vector(state, model, 1)
+            assert vector.shape == (state.n_items,)
+            assert (vector >= 0.0).all() and (vector <= 1.0).all()
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestLikelihoodVector:
+    def test_matches_scalar_oracle(self, model):
+        for pattern, state in _states():
+            for users in ({0}, {1, 4}, set(range(6))):
+                fast = adoption_likelihood(state, model, users)
+                slow = scalar_adoption_likelihood(state, model, users)
+                assert fast == pytest.approx(slow, rel=1e-12), (
+                    pattern, users,
+                )
+
+    def test_zero_without_adoptions(self, model):
+        state = build_tiny_instance().new_state()
+        assert adoption_likelihood(state, model, set(range(6))) == 0.0
+
+
+class TestAdoptedRow:
+    def test_mask_mirrors_sets(self):
+        for _, state in _states():
+            for user in range(state.n_users):
+                row = state.adopted_row(user)
+                assert set(np.flatnonzero(row)) == state.adopted[user]
+
+    def test_copy_detaches_mask(self):
+        state = build_tiny_instance().new_state()
+        state.apply_step_adoptions({0: [0]})
+        clone = state.copy()
+        clone.apply_step_adoptions({0: [1]})
+        assert not state.adopted_row(0)[1]
+        assert clone.adopted_row(0)[1]

@@ -1,0 +1,107 @@
+"""Tests for SigmaCache memoization, counters and invalidation."""
+
+import pytest
+
+from repro.core.problem import Seed, SeedGroup
+from repro.diffusion.montecarlo import SigmaEstimator
+from repro.engine import SigmaCache
+from repro.utils.rng import RngFactory
+
+GROUP = SeedGroup([Seed(0, 0, 1)])
+
+
+@pytest.fixture
+def estimator(tiny_instance):
+    return SigmaEstimator(tiny_instance, n_samples=6, rng_factory=RngFactory(4))
+
+
+class TestCounters:
+    def test_miss_then_hit(self, estimator):
+        estimator.sigma(GROUP)
+        assert (estimator.cache_hits, estimator.cache_misses) == (0, 1)
+        estimator.sigma(GROUP)
+        assert (estimator.cache_hits, estimator.cache_misses) == (1, 1)
+
+    def test_distinct_options_are_distinct_entries(self, estimator):
+        estimator.estimate(GROUP)
+        estimator.estimate(GROUP, restrict_users={0, 1})
+        estimator.estimate(GROUP, until_promotion=1)
+        assert estimator.cache_misses == 3
+        assert len(estimator.cache) == 3
+
+    def test_hit_returns_same_object(self, estimator):
+        first = estimator.estimate(GROUP)
+        assert estimator.estimate(GROUP) is first
+
+    def test_stats_snapshot(self, estimator):
+        estimator.sigma(GROUP)
+        estimator.sigma(GROUP)
+        stats = estimator.cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.entries == 1
+        assert stats.hit_rate == 0.5
+
+    def test_empty_cache_hit_rate(self):
+        assert SigmaCache().stats().hit_rate == 0.0
+
+
+class TestInvalidation:
+    def test_clear_forces_recomputation(self, estimator):
+        estimator.sigma(GROUP)
+        estimator.clear_cache()
+        before = estimator.n_evaluations
+        estimator.sigma(GROUP)
+        assert estimator.n_evaluations > before
+        assert estimator.cache_misses == 2
+
+    def test_clear_preserves_counters(self, estimator):
+        estimator.sigma(GROUP)
+        estimator.sigma(GROUP)
+        estimator.clear_cache()
+        assert estimator.cache_hits == 1
+        assert len(estimator.cache) == 0
+
+    def test_lru_eviction(self, estimator):
+        estimator.cache.max_entries = 2
+        estimator.estimate(GROUP)
+        estimator.estimate(GROUP, until_promotion=1)
+        estimator.estimate(GROUP, restrict_users={0})  # evicts the first
+        assert len(estimator.cache) == 2
+        estimator.estimate(GROUP)  # recomputes
+        assert estimator.cache_misses == 4
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            SigmaCache(max_entries=0)
+
+
+class TestSharedCache:
+    def test_shared_across_estimators_no_collision(self, tiny_instance):
+        """Config is part of the key: same group, different samples."""
+        cache = SigmaCache()
+        a = SigmaEstimator(
+            tiny_instance,
+            n_samples=5,
+            rng_factory=RngFactory(1),
+            cache=cache,
+        )
+        b = SigmaEstimator(
+            tiny_instance,
+            n_samples=9,
+            rng_factory=RngFactory(1),
+            cache=cache,
+        )
+        ea = a.estimate(GROUP)
+        eb = b.estimate(GROUP)
+        assert ea.n_samples == 5 and eb.n_samples == 9
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_shared_same_config_hits(self, tiny_instance):
+        cache = SigmaCache()
+        kwargs = dict(n_samples=5, rng_factory=RngFactory(1), cache=cache)
+        a = SigmaEstimator(tiny_instance, **kwargs)
+        b = SigmaEstimator(tiny_instance, **kwargs)
+        a.sigma(GROUP)
+        b.sigma(GROUP)
+        assert cache.hits == 1 and cache.misses == 1

@@ -1,6 +1,5 @@
 """Tests for the experiment harness and reporting."""
 
-import pytest
 
 from repro.eval.harness import (
     ALGORITHMS,

@@ -10,7 +10,6 @@ import pytest
 
 from repro.core.problem import Seed, SeedGroup
 from repro.diffusion.montecarlo import SigmaEstimator
-from repro.perception.params import DynamicsParams
 from repro.utils.rng import RngFactory
 
 from tests.conftest import build_tiny_instance

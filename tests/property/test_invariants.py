@@ -7,7 +7,6 @@ paths with arbitrary (bounded) inputs.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.kg.metagraph import Relationship
 from repro.kg.relevance import pathsim_normalize
 from repro.perception.influence import adoption_similarity, influence_strength
 from repro.perception.preference import preference_vector
