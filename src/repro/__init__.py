@@ -35,6 +35,22 @@ it, and chunked reductions follow one canonical order.  Estimates are
 therefore bit-identical across ``serial``, ``thread`` and ``process``
 backends, and greedy marginal-gain comparisons stay correlated.
 
+Sigma oracles
+-------------
+Frozen-dynamics selection phases can swap Monte-Carlo re-simulation
+for the sketch oracle (``repro.sketch``): a realization bank samples
+the common-random-number worlds once and answers every sigma /
+marginal-gain query by reachability-bitmask lookups — noise-free
+between queries and several times faster at equal replication counts.
+Select it per algorithm (``DysimConfig(oracle="sketch")``, baselines'
+``oracle="sketch"``) or from the CLI (``--oracle sketch``)::
+
+    from repro import SketchSigmaEstimator
+    est = SketchSigmaEstimator(instance.frozen(), n_samples=32)
+
+Queries sketches cannot represent (dynamic perceptions, the LT model,
+likelihood / weight collection) transparently fall back to Monte-Carlo.
+
 **Worker-count tuning:** ``workers`` defaults to ``min(8, cpu_count)``.
 The ``process`` backend pays one task pickle per chunk plus a one-off
 pool start-up, so it wins once replications are expensive (large
@@ -69,6 +85,12 @@ from repro.engine import (
 from repro.errors import ReproError
 from repro.kg import KnowledgeGraph, MetaGraph, RelevanceEngine, Relationship
 from repro.perception import DynamicsParams, PerceptionState
+from repro.sketch import (
+    ORACLE_NAMES,
+    RealizationBank,
+    SketchSigmaEstimator,
+    make_sigma_estimator,
+)
 from repro.social import SocialNetwork
 
 __version__ = "1.0.0"
@@ -87,8 +109,10 @@ __all__ = [
     "IMDPPInstance",
     "KnowledgeGraph",
     "MetaGraph",
+    "ORACLE_NAMES",
     "PerceptionState",
     "ProcessPoolBackend",
+    "RealizationBank",
     "Relationship",
     "RelevanceEngine",
     "ReproError",
@@ -97,8 +121,10 @@ __all__ = [
     "SerialBackend",
     "SigmaCache",
     "SigmaEstimator",
+    "SketchSigmaEstimator",
     "SocialNetwork",
     "ThreadBackend",
+    "make_sigma_estimator",
     "resolve_backend",
     "set_default_backend",
     "build_course_classes",

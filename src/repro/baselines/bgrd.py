@@ -31,12 +31,13 @@ def run_bgrd(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     candidate_users: int = 60,
     bundle_size: int = 3,
 ) -> BaselineResult:
     """Run BGRD and return its (budget-feasible) seed group."""
     frozen, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
     utility = instance.base_preference * instance.importance[None, :]
 

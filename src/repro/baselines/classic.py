@@ -32,11 +32,12 @@ def run_celf_greedy(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     candidate_pairs: int = 120,
 ) -> BaselineResult:
     """Budgeted CELF greedy over user-item pairs (frozen oracle)."""
     frozen, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
 
     with timer() as clock:
@@ -76,10 +77,11 @@ def run_degree(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
 ) -> BaselineResult:
     """Highest-out-degree users promoting their best-utility item."""
     _, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
     utility = instance.base_preference * instance.importance[None, :]
 
@@ -113,10 +115,11 @@ def run_random(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
 ) -> BaselineResult:
     """Uniform random affordable pairs in the first promotion."""
     _, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
     rng = spawn_rng(seed, "random-baseline")
 

@@ -9,6 +9,7 @@ from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.montecarlo import SigmaEstimator
 from repro.engine import ExecutionBackend, SigmaCache, resolve_backend
+from repro.sketch.oracle import make_sigma_estimator
 from repro.utils.rng import RngFactory
 
 __all__ = ["BaselineResult", "make_estimators", "affordable_pairs"]
@@ -47,17 +48,21 @@ def make_estimators(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
 ) -> tuple[SigmaEstimator, SigmaEstimator]:
     """(frozen, dynamic) estimator pair with decorrelated streams.
 
     Both estimators share one execution backend (resolved once, so a
     pool backend keeps a single set of workers) and one
-    :class:`~repro.engine.SigmaCache`.
+    :class:`~repro.engine.SigmaCache`.  ``oracle`` selects the frozen
+    estimator's kind (``"mc"`` or ``"sketch"``); the dynamic estimator
+    is always Monte-Carlo — dynamics cannot be sketched.
     """
     factory = RngFactory(seed)
     resolved = resolve_backend(backend, workers)
     cache = SigmaCache()
-    frozen = SigmaEstimator(
+    frozen = make_sigma_estimator(
+        oracle,
         instance.frozen(),
         model=model,
         n_samples=n_samples,

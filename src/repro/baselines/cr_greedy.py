@@ -34,6 +34,11 @@ def assign_timings(
     estimator:
         Sigma oracle used for the marginal comparisons (baselines use
         the frozen estimator, mirroring their static world models).
+        With the ``sketch`` oracle the frozen spread is provably
+        timing-independent (a realized world's spread is a reachability
+        union), so every promotion ties and each pick lands in the
+        earliest slot — the scheduling noise the Monte-Carlo oracle
+        exhibits here is exactly that: noise.
     max_rounds_searched:
         Optional cap on how many distinct promotions are evaluated per
         pick (the first ``k`` rounds); None searches all ``T``.

@@ -32,12 +32,13 @@ def run_drhga(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     users_per_item: int = 3,
     candidate_users: int = 40,
 ) -> BaselineResult:
     """Run DRHGA and return its seed group."""
     frozen, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
 
     with timer() as clock:

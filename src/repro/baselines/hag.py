@@ -33,11 +33,12 @@ def run_hag(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     candidate_pairs: int = 120,
 ) -> BaselineResult:
     """Run HAG and return its seed group."""
     frozen, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
 
     with timer() as clock:

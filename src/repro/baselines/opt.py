@@ -30,6 +30,7 @@ def run_opt(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     universe_size: int = 10,
     max_seeds: int = 4,
     per_user_cap: int = 2,
@@ -39,9 +40,12 @@ def run_opt(
     ``per_user_cap`` keeps the bounded universe diverse: the ranking
     heuristic scores hub users highly for *every* item, and without
     the cap the whole universe can collapse onto one user's items.
+    ``oracle`` is accepted for interface uniformity (the CLI passes it
+    to every algorithm) but OPT evaluates candidates with the dynamic
+    Monte-Carlo oracle only.
     """
     _, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
 
     with timer() as clock:

@@ -33,12 +33,13 @@ def run_ps(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     theta_path: float = 1.0 / 320.0,
     discount: float = 0.5,
 ) -> BaselineResult:
     """Run PS and return its seed group."""
     frozen, dynamic = make_estimators(
-        instance, n_samples, seed, model, backend, workers
+        instance, n_samples, seed, model, backend, workers, oracle
     )
 
     with timer() as clock:

@@ -12,6 +12,12 @@ Usage examples::
 ``thread`` or ``process``); results are bit-identical across backends
 for a fixed ``--seed`` because every sample replays the same random
 substream regardless of the executing worker.
+
+``--oracle`` selects the sigma oracle for the frozen selection phases:
+``mc`` (default) re-simulates every query; ``sketch`` answers from a
+realization bank of forward-reachability sketches — the same worlds
+for every query, no selection noise, several times faster at equal
+replication counts.  Dynamic evaluations always use Monte-Carlo.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import sys
 from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
 from repro.engine import BACKEND_NAMES, set_default_backend
 from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
+from repro.sketch import ORACLE_NAMES
 from repro.eval.metrics import campaign_report
 from repro.eval.reporting import format_table
 
@@ -77,6 +84,15 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         help="worker count for thread/process backends "
         "(default: min(8, cpu count))",
     )
+    parser.add_argument(
+        "--oracle",
+        default="mc",
+        choices=sorted(ORACLE_NAMES),
+        help="sigma oracle for the frozen selection phases: 'mc' "
+        "re-simulates every query, 'sketch' answers from a "
+        "realization bank of reachability sketches (much faster at "
+        "equal replication counts; dynamic evaluations stay MC)",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -117,7 +133,11 @@ def _command_run(args) -> int:
     instance = _load(args)
     set_default_backend(args.backend, args.workers)
     result = run_algorithm(
-        args.algorithm, instance, n_samples=args.samples, seed=args.seed
+        args.algorithm,
+        instance,
+        n_samples=args.samples,
+        seed=args.seed,
+        oracle=args.oracle,
     )
     print(f"{args.algorithm} selected {len(result.seed_group)} seeds "
           f"in {result.runtime_seconds:.1f}s:")
@@ -136,7 +156,11 @@ def _command_compare(args) -> int:
     rows = []
     for name in names:
         result = run_algorithm(
-            name, instance, n_samples=args.samples, seed=args.seed
+            name,
+            instance,
+            n_samples=args.samples,
+            seed=args.seed,
+            oracle=args.oracle,
         )
         sigma = evaluate_group(instance, result.seed_group, n_samples=30)
         rows.append(

@@ -36,8 +36,8 @@ from repro.core.dysim.reachability import ReachabilityTable
 from repro.core.dysim.timing import best_timed_seed
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
-from repro.diffusion.montecarlo import SigmaEstimator
 from repro.engine import SigmaCache, resolve_backend
+from repro.sketch.oracle import make_sigma_estimator
 from repro.utils.rng import RngFactory
 
 __all__ = ["DysimConfig", "DysimResult", "Dysim"]
@@ -77,6 +77,14 @@ class DysimConfig:
         strategy rather than swallowed by a shared fallback.
     model:
         Trigger model for all internal evaluation.
+    oracle:
+        Sigma oracle for the frozen selection phases: ``"mc"``
+        (Monte-Carlo re-simulation, the default) or ``"sketch"``
+        (realization bank + reachability sketches — several times
+        faster at equal replication counts; exact common random
+        numbers across queries).  The dynamic DR / SI evaluations
+        always use Monte-Carlo, which is the only oracle that can
+        observe evolving perceptions.
     seed:
         Root of every random substream Dysim uses.
     backend:
@@ -101,6 +109,7 @@ class DysimConfig:
     use_item_priority: bool = True
     use_fallbacks: bool = True
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE
+    oracle: str = "mc"
     seed: int = 0
     backend: object | str | None = None
     workers: int | None = None
@@ -119,6 +128,7 @@ class DysimResult:
     n_oracle_calls: int
     group_orders: list[list[int]] = field(default_factory=list)
     backend: str = "serial"
+    oracle: str = "mc"
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -143,10 +153,15 @@ class Dysim:
             self.config.backend, self.config.workers
         )
         # One cache backs both estimators (keys embed the estimator
-        # config, so frozen/dynamic estimates cannot collide) to give
-        # DysimResult a single hit/miss account.
+        # config — including the oracle kind — so frozen/dynamic and
+        # mc/sketch estimates cannot collide) to give DysimResult a
+        # single hit/miss account.
         self._cache = SigmaCache()
-        self._frozen_estimator = SigmaEstimator(
+        # The frozen selection oracle is switchable (mc | sketch); the
+        # dynamic estimator must simulate — it observes evolving
+        # perceptions, likelihoods and mean weights.
+        self._frozen_estimator = make_sigma_estimator(
+            self.config.oracle,
             instance.frozen(),
             model=self.config.model,
             n_samples=self.config.n_samples_selection,
@@ -154,7 +169,8 @@ class Dysim:
             backend=self._backend,
             cache=self._cache,
         )
-        self._dynamic_estimator = SigmaEstimator(
+        self._dynamic_estimator = make_sigma_estimator(
+            "mc",
             instance,
             model=self.config.model,
             n_samples=self.config.n_samples_inner,
@@ -228,6 +244,7 @@ class Dysim:
             ),
             group_orders=group_orders,
             backend=self._backend.name,
+            oracle=self.config.oracle,
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
         )

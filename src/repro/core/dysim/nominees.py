@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.core.submodular import budgeted_lazy_greedy
 from repro.diffusion.montecarlo import SigmaEstimator
+from repro.sketch.estimator import SketchSigmaEstimator
 
 __all__ = ["NomineeSelection", "select_nominees", "rank_candidates"]
 
@@ -116,16 +117,31 @@ def select_nominees(
         )
         return estimator.estimate(group, until_promotion=1).sigma
 
+    def cost(pair: tuple[int, int]) -> float:
+        return instance.cost(pair[0], pair[1])
+
     # Procedure 2 keeps extracting while any affordable nominee
     # remains ("while U != 0"); with a Monte-Carlo oracle a noisy
     # non-positive marginal must not end the selection early.
-    result = budgeted_lazy_greedy(
-        universe,
-        oracle,
-        cost=lambda pair: instance.cost(pair[0], pair[1]),
-        budget=instance.budget,
-        stop_on_negative_gain=False,
-    )
+    if (
+        isinstance(estimator, SketchSigmaEstimator)
+        and estimator.supports_sketch
+    ):
+        # Sketch fast path: same MCP rule and lazy heap, but marginal
+        # gains are incremental bitmask lookups over the realization
+        # bank instead of per-call re-unions — the selection-phase
+        # speedup benchmarks/test_sketch_scaling.py asserts.
+        result = estimator.select_budgeted(
+            universe, cost, instance.budget
+        )
+    else:
+        result = budgeted_lazy_greedy(
+            universe,
+            oracle,
+            cost=cost,
+            budget=instance.budget,
+            stop_on_negative_gain=False,
+        )
 
     best_singleton: tuple[int, int] | None = None
     best_value = 0.0

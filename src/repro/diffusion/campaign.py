@@ -4,11 +4,15 @@ One :class:`CampaignSimulator.run` plays a single random realization of
 a campaign: ``T`` promotions, each made of steps ``zeta_t = 0, 1, ...``.
 At ``zeta_t = 0`` the seeds of promotion ``t`` newly adopt their items;
 at each later step every user who newly adopted an item at the previous
-step promotes it to friends who have not adopted it, succeeding with
-``Pact(u', u) * Ppref(u, x)`` (IC) or by threshold crossing (LT), and
-each promotion event may additionally trigger *extra adoptions* of
-relevant items with ``Pext``.  All adoption decisions of a step are
-made against the previous step's perception state; the state then
+step promotes it to all friends; friends who have not adopted it yet
+decide with ``Pact(u', u) * Ppref(u, x)`` (IC) or by threshold crossing
+(LT), and every promotion event may additionally trigger *extra
+adoptions* of relevant items with ``Pext`` — independent of the
+influence decision and of the friend's prior adoption of the promoted
+item (footnote 9; this is what lets Lemma 1 realize one association
+coin per (arc, item, item) and keeps the frozen spread submodular).
+All adoption decisions of a step are made against the previous step's
+perception state; the state then
 updates (weightings -> relevance -> preferences / influence) before the
 next step.  A promotion ends when a step produces no new adoption; the
 next promotion starts from the inherited state.
@@ -212,24 +216,30 @@ class CampaignSimulator:
 
         for promoter, item in frontier:
             for target in state.network.out_neighbors(promoter):
-                if state.has_adopted(target, item):
-                    continue
                 strength = state.influence(promoter, target)
                 if strength <= 0.0:
                     continue
-                preference = state.preference_of(target, item)
-                adopted_item = False
-                if use_lt:
-                    adopted_item = self._lt_decision(
-                        target, item, state, rng, lt_thresholds
-                    )
-                else:
-                    adopted_item = rng.random() < strength * preference
-                if adopted_item:
-                    step_adoptions[target].add(item)
+                if not state.has_adopted(target, item):
+                    adopted_item = False
+                    if use_lt:
+                        adopted_item = self._lt_decision(
+                            target, item, state, rng, lt_thresholds
+                        )
+                    else:
+                        preference = state.preference_of(target, item)
+                        adopted_item = rng.random() < strength * preference
+                    if adopted_item:
+                        step_adoptions[target].add(item)
                 # Item associations: being *promoted* item may trigger
                 # extra adoptions of relevant items regardless of the
-                # decision on the promoted item itself (footnote 9).
+                # decision on the promoted item itself (footnote 9) —
+                # and regardless of whether the target had already
+                # adopted it: the association coin belongs to the
+                # promotion event, not to the influence decision.
+                # (Lemma 1 realizes exactly one such coin per
+                # (arc, item, item); gating it on adoption history
+                # would make the frozen spread order-dependent and
+                # break the submodularity the guarantee rests on.)
                 # The candidate filter and the coin flips are batched;
                 # ``rng.random(k)`` consumes the identical substream as
                 # ``k`` scalar draws, so realizations match the former

@@ -76,6 +76,13 @@ class SigmaEstimator:
         memoization across estimators, or ``None`` for a private one.
     """
 
+    #: Distinguishes estimator families in cache keys: a cache shared
+    #: between a Monte-Carlo and a sketch-based estimator of otherwise
+    #: identical configuration must never alias their entries (the
+    #: estimates differ — one simulates, the other replays sketched
+    #: worlds).  Subclasses implementing a different oracle override it.
+    oracle_kind = "mc"
+
     def __init__(
         self,
         instance: IMDPPInstance,
@@ -86,6 +93,8 @@ class SigmaEstimator:
         workers: int | None = None,
         cache: SigmaCache | None = None,
     ):
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         self.instance = instance
         self.model = model
         self.n_samples = int(n_samples)
@@ -116,8 +125,11 @@ class SigmaEstimator:
         flags: tuple,
     ) -> tuple:
         # The estimator configuration is part of the key so one cache
-        # can safely back several estimators (e.g. frozen + dynamic).
+        # can safely back several estimators (e.g. frozen + dynamic,
+        # or Monte-Carlo + sketch — ``oracle_kind`` keeps their
+        # entries apart even when everything else matches).
         return (
+            self.oracle_kind,
             tuple(sorted((s.user, s.item, s.promotion) for s in seed_group)),
             until_promotion,
             restrict_key,

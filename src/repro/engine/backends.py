@@ -59,6 +59,10 @@ class ExecutionBackend(Protocol):
         """Execute ``n_samples`` replications of ``task``."""
         ...
 
+    def map_chunks(self, fn, task, chunks: list[list[int]]) -> list:
+        """Run ``fn(task, chunk)`` per chunk, results in chunk order."""
+        ...
+
     def close(self) -> None:
         """Release worker resources (idempotent)."""
         ...
@@ -72,10 +76,23 @@ class SerialBackend:
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
         self.chunk_size = int(chunk_size)
 
+    def map_chunks(self, fn, task, chunks: list[list[int]]) -> list:
+        """Run ``fn(task, chunk)`` per chunk, results in chunk order.
+
+        The generic fan-out primitive behind both Monte-Carlo
+        replication (:func:`~repro.engine.replication.run_chunk`) and
+        sketch construction (``repro.sketch``): any module-level
+        ``fn(task, indices)`` over the canonical chunk partition can be
+        dispatched, and results always come back in chunk order so
+        reductions stay backend-independent.
+        """
+        return [fn(task, chunk) for chunk in chunks]
+
     def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
         return ChunkResult.merge(
-            run_chunk(task, chunk)
-            for chunk in chunk_indices(n_samples, self.chunk_size)
+            self.map_chunks(
+                run_chunk, task, chunk_indices(n_samples, self.chunk_size)
+            )
         )
 
     def close(self) -> None:
@@ -114,18 +131,27 @@ class _PoolBackend:
             self._executor = self._make_executor()
         return self._executor
 
-    def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
+    def map_chunks(self, fn, task, chunks: list[list[int]]) -> list:
+        """Fan ``fn(task, chunk)`` out to the pool, results in order.
+
+        ``fn`` must be a module-level function (process pools pickle it
+        by qualified name).  A single chunk skips the executor — and,
+        for process pools, the pickling round trip — entirely.
+        ``Executor.map`` yields results in submission order, which is
+        the canonical chunk order reductions require.
+        """
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
-        chunks = chunk_indices(n_samples, self.chunk_size)
         if len(chunks) <= 1:
-            # One chunk cannot be parallelized; skip the executor (and,
-            # for process pools, the pickling round trip) entirely.
-            return ChunkResult.merge(run_chunk(task, c) for c in chunks)
-        # ``Executor.map`` yields results in submission order, which is
-        # the canonical chunk order — exactly what merge() requires.
-        results = self.executor.map(run_chunk, (task for _ in chunks), chunks)
-        return ChunkResult.merge(results)
+            return [fn(task, chunk) for chunk in chunks]
+        return list(self.executor.map(fn, (task for _ in chunks), chunks))
+
+    def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
+        return ChunkResult.merge(
+            self.map_chunks(
+                run_chunk, task, chunk_indices(n_samples, self.chunk_size)
+            )
+        )
 
     def close(self) -> None:
         # Terminal: further run()/executor access raises rather than

@@ -129,7 +129,14 @@ class ChunkResult:
 def chunk_indices(
     n_samples: int, chunk_size: int = DEFAULT_CHUNK_SIZE
 ) -> list[list[int]]:
-    """Partition ``range(n_samples)`` into the canonical chunks."""
+    """Partition ``range(n_samples)`` into the canonical chunks.
+
+    ``n_samples`` must be positive: a zero-sample "estimate" would
+    silently average an empty array into NaN, so it is rejected here —
+    the one choke point every backend goes through.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
     size = max(1, int(chunk_size))
     return [
         list(range(start, min(start + size, n_samples)))

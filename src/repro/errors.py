@@ -41,3 +41,8 @@ class AlgorithmError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset specification is invalid."""
+
+
+class SketchError(ReproError):
+    """A reachability-sketch oracle was asked for something it cannot
+    answer (non-frozen dynamics, unsupported trigger model, ...)."""

@@ -44,6 +44,7 @@ def run_dysim(
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
+    oracle: str = "mc",
     **config_overrides,
 ) -> BaselineResult:
     """Adapter exposing Dysim through the baseline interface."""
@@ -54,6 +55,7 @@ def run_dysim(
         "seed": seed,
         "backend": backend,
         "workers": workers,
+        "oracle": oracle,
         **config_overrides,  # may override the sample counts
     }
     config = DysimConfig(**config_kwargs)
@@ -69,6 +71,7 @@ def run_dysim(
             "fallback": result.fallback_used,
             "n_oracle_calls": result.n_oracle_calls,
             "backend": result.backend,
+            "oracle": result.oracle,
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
         },

@@ -50,6 +50,17 @@ class DynamicsParams:
         check_fraction(self.min_preference, "min_preference")
         check_fraction(self.min_influence, "min_influence")
 
+    @property
+    def is_frozen(self) -> bool:
+        """True when no update rule can change perceptions mid-campaign.
+
+        ``association_scale`` does not count: extra adoptions are part
+        of the diffusion itself, not of the perception dynamics, so a
+        frozen instance can still trigger them (Lemma 1 realizes their
+        coins up-front together with the influence coins).
+        """
+        return self.eta == 0.0 and self.beta == 0.0 and self.gamma == 0.0
+
     @classmethod
     def frozen(cls) -> "DynamicsParams":
         """Parameters that disable all dynamics.

@@ -1,0 +1,49 @@
+"""Sketch-based sigma oracle: realization bank + reachability sketches.
+
+Under frozen dynamics the diffusion's coins can be flipped up-front
+(Lemma 1), turning every sigma / marginal-gain query into a reachability
+union over pre-realized worlds — orders of magnitude cheaper than
+Monte-Carlo re-simulation, and *noise-free* between queries that share
+the same worlds.  This package provides:
+
+* :class:`RealizationBank` — samples and holds the common-random-number
+  worlds once per (instance, seed-stream, world count), building them
+  in parallel over the :mod:`repro.engine` backends;
+* :class:`ReachabilitySketch` — per-world live-edge adjacency with
+  memoized forward-reachability bitmasks;
+* :class:`SketchSigmaEstimator` — a drop-in
+  :class:`~repro.diffusion.montecarlo.SigmaEstimator` replacement with
+  transparent Monte-Carlo fallback for queries sketches cannot answer;
+* :func:`budgeted_coverage_greedy` — the CELF-style lazy greedy whose
+  marginal gains are incremental bitmask lookups (nominee selection's
+  fast path);
+* :func:`make_sigma_estimator` — the ``--oracle mc|sketch`` factory.
+"""
+
+from repro.sketch.bank import (
+    DEFAULT_EXTRA_ADOPTION_FLOOR,
+    ProbabilitySkeleton,
+    ReachabilitySketch,
+    RealizationBank,
+    SketchBuildTask,
+    build_skeleton,
+    build_worlds_chunk,
+)
+from repro.sketch.estimator import SketchSigmaEstimator
+from repro.sketch.greedy import CoverageEvaluator, budgeted_coverage_greedy
+from repro.sketch.oracle import ORACLE_NAMES, make_sigma_estimator
+
+__all__ = [
+    "DEFAULT_EXTRA_ADOPTION_FLOOR",
+    "ORACLE_NAMES",
+    "CoverageEvaluator",
+    "ProbabilitySkeleton",
+    "ReachabilitySketch",
+    "RealizationBank",
+    "SketchBuildTask",
+    "SketchSigmaEstimator",
+    "budgeted_coverage_greedy",
+    "build_skeleton",
+    "build_worlds_chunk",
+    "make_sigma_estimator",
+]

@@ -1,0 +1,421 @@
+"""Realization bank: persisted frozen worlds + reachability sketches.
+
+Under frozen dynamics (``DynamicsParams.is_frozen``) every coin of the
+diffusion has a constant probability, so a whole random world can be
+realized up-front (Lemma 1): influence coins ``Pact(u', u) *
+Ppref(u, x)`` per (arc, item) and association coins ``Pext`` per
+(arc, item, item).  In a realized world the spread of *any* seed group
+is a pure reachability union over the live-edge graph on (user, item)
+pairs — a coverage function, independent of seed timings.
+
+The bank materializes exactly that, once per (instance, seed-stream,
+world count):
+
+* a :class:`ProbabilitySkeleton` — the canonical list of potential
+  live edges with their probabilities, shared by all worlds;
+* per world, one batch of coin flips over the skeleton followed by a
+  :class:`ReachabilitySketch` (CSR adjacency + memoized per-source
+  reachability masks).
+
+Every ``sigma`` / ``sigma_tau`` / marginal-gain query is then answered
+by bitmask lookups instead of re-simulation.  World ``i`` flips its
+coins with the substream ``spawn_rng(rng_seed, *rng_context, i)`` — the
+same common-random-numbers discipline as the Monte-Carlo engine, so two
+banks with the same stream are the *same worlds* and greedy marginal
+comparisons across estimators stay exactly correlated.
+
+Canonical coin order (pinned by the property suite — changing it
+changes every sketch estimate):  arcs iterate ``(source, target)`` with
+sources ascending and targets ascending within a source; per arc first
+the influence entries ``(source, x) -> (target, x)`` with
+``p = Pact * Ppref > 0`` by item ascending, then the association
+entries ``(source, x) -> (target, y)`` with ``Pext > floor`` in
+row-major ``(x, y)`` order, ``y != x``.  One ``rng.random(n_entries)``
+call per world draws every coin against that order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import IMDPPInstance, SeedGroup
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.replication import DEFAULT_CHUNK_SIZE, chunk_indices
+from repro.errors import SketchError
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "ProbabilitySkeleton",
+    "SketchBuildTask",
+    "ReachabilitySketch",
+    "RealizationBank",
+    "build_skeleton",
+    "build_worlds_chunk",
+]
+
+#: Association probabilities at or below this are never realized —
+#: mirrors ``CampaignSimulator.extra_adoption_floor`` so the sketched
+#: and simulated diffusions share one event space.
+DEFAULT_EXTRA_ADOPTION_FLOOR = 1e-6
+
+
+@dataclass
+class ProbabilitySkeleton:
+    """All potential live edges of the frozen diffusion, canonically
+    ordered, with their coin probabilities.
+
+    Entry ``k`` is the pair-graph edge ``src[k] -> dst[k]`` (pair index
+    ``user * n_items + item``) that becomes live in a world when that
+    world's ``k``-th uniform draw lands below ``prob[k]``.
+    """
+
+    n_pairs: int
+    src: np.ndarray
+    dst: np.ndarray
+    prob: np.ndarray
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.prob.size)
+
+
+def build_skeleton(
+    instance: IMDPPInstance,
+    extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
+) -> ProbabilitySkeleton:
+    """Enumerate the canonical coin list of a frozen instance."""
+    if not instance.dynamics.is_frozen:
+        raise SketchError(
+            "realization sketches require frozen dynamics "
+            "(pass instance.frozen()); got "
+            f"{instance.dynamics!r}"
+        )
+    state = instance.new_state()
+    n_users, n_items = instance.n_users, instance.n_items
+    preference = np.vstack(
+        [state.preference(user) for user in range(n_users)]
+    )
+    comp_index = instance.relevance.complementary_index
+    matrices = instance.relevance.matrices
+    scale = instance.dynamics.association_scale
+
+    comp_cache: dict[int, np.ndarray] = {}
+
+    def complementary_of(user: int) -> np.ndarray:
+        """``r^C(user, x, y)`` matrix under the (frozen) weights."""
+        cached = comp_cache.get(user)
+        if cached is None:
+            if comp_index.size:
+                cached = np.clip(
+                    np.tensordot(
+                        state.weights[user][comp_index],
+                        matrices[comp_index],
+                        axes=1,
+                    ),
+                    0.0,
+                    1.0,
+                )
+            else:
+                cached = np.zeros((n_items, n_items))
+            comp_cache[user] = cached
+        return cached
+
+    items = np.arange(n_items)
+    off_diagonal = ~np.eye(n_items, dtype=bool)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    prob_parts: list[np.ndarray] = []
+
+    for source in range(n_users):
+        for target in sorted(instance.network.out_neighbors(source)):
+            strength = state.influence(source, target)
+            if strength <= 0.0:
+                continue
+            p_act = strength * preference[target]
+            live_items = items[p_act > 0.0]
+            if live_items.size:
+                src_parts.append(source * n_items + live_items)
+                dst_parts.append(target * n_items + live_items)
+                prob_parts.append(p_act[live_items])
+            if scale > 0.0:
+                # Pext(target, source, x, y); same clipping pipeline as
+                # PerceptionState.extra_adoption_probs.
+                p_ext = scale * np.clip(
+                    strength
+                    * preference[target][:, None]
+                    * complementary_of(target),
+                    0.0,
+                    1.0,
+                )
+                xs, ys = np.nonzero(
+                    (p_ext > extra_adoption_floor) & off_diagonal
+                )
+                if xs.size:
+                    src_parts.append(source * n_items + xs)
+                    dst_parts.append(target * n_items + ys)
+                    prob_parts.append(p_ext[xs, ys])
+
+    if src_parts:
+        src = np.concatenate(src_parts).astype(np.int64)
+        dst = np.concatenate(dst_parts).astype(np.int64)
+        prob = np.concatenate(prob_parts).astype(float)
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+        prob = np.zeros(0, dtype=float)
+    return ProbabilitySkeleton(
+        n_pairs=n_users * n_items, src=src, dst=dst, prob=prob
+    )
+
+
+@dataclass
+class SketchBuildTask:
+    """Everything a worker needs to flip one world's coins.
+
+    Ships only the probability vector (not the instance): workers
+    return packed coin outcomes and the parent assembles the live-edge
+    adjacency.  Picklable, so :meth:`ExecutionBackend.map_chunks` can
+    fan world construction out to thread or process pools.
+    """
+
+    prob: np.ndarray
+    rng_seed: int
+    rng_context: tuple
+
+
+def build_worlds_chunk(
+    task: SketchBuildTask, indices: Sequence[int]
+) -> list[np.ndarray]:
+    """Flip the coins of worlds ``indices`` (module-level: picklable).
+
+    Returns one ``np.packbits`` mask per world, in index order; world
+    ``i`` consumes exactly one ``rng.random(n_entries)`` call of the
+    substream ``spawn_rng(rng_seed, *rng_context, i)``.
+    """
+    packed = []
+    for i in indices:
+        rng = spawn_rng(task.rng_seed, *task.rng_context, i)
+        live = rng.random(task.prob.size) < task.prob
+        packed.append(np.packbits(live))
+    return packed
+
+
+class ReachabilitySketch:
+    """One realized world: live-edge CSR adjacency over (user, item)
+    pairs plus memoized per-source forward-reachability masks."""
+
+    def __init__(self, n_pairs: int, src: np.ndarray, dst: np.ndarray):
+        self.n_pairs = int(n_pairs)
+        order = np.argsort(src, kind="stable")
+        self._indices = np.asarray(dst)[order]
+        counts = np.bincount(
+            np.asarray(src), minlength=self.n_pairs
+        )
+        self._indptr = np.zeros(self.n_pairs + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
+        self._reach: dict[int, np.ndarray] = {}
+
+    @property
+    def n_live_edges(self) -> int:
+        return int(self._indices.size)
+
+    def reach_mask(self, pair: int) -> np.ndarray:
+        """Boolean mask of pairs reachable from ``pair`` (memoized).
+
+        The returned array is shared — treat it as read-only.
+        """
+        cached = self._reach.get(pair)
+        if cached is not None:
+            return cached
+        visited = np.zeros(self.n_pairs, dtype=bool)
+        visited[pair] = True
+        stack = [pair]
+        indptr, indices = self._indptr, self._indices
+        while stack:
+            node = stack.pop()
+            for neighbor in indices[indptr[node]:indptr[node + 1]]:
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    stack.append(int(neighbor))
+        self._reach[pair] = visited
+        return visited
+
+    def group_mask(self, pairs: Iterable[int]) -> np.ndarray:
+        """Union of the sources' reachability masks (a fresh array)."""
+        mask = np.zeros(self.n_pairs, dtype=bool)
+        for pair in pairs:
+            mask |= self.reach_mask(pair)
+        return mask
+
+
+class RealizationBank:
+    """A fixed family of realized worlds answering sigma queries.
+
+    Parameters
+    ----------
+    instance:
+        Frozen-dynamics IMDPP instance (raises otherwise).
+    n_worlds:
+        How many realizations to sample — the sketch analogue of the
+        Monte-Carlo sample count ``M``.
+    rng_seed / rng_context:
+        Substream family; world ``i`` flips its coins with
+        ``spawn_rng(rng_seed, *rng_context, i)``.  Two banks sharing
+        these (and the instance) are bit-identical.
+    extra_adoption_floor:
+        Association probabilities at or below this are dropped from the
+        skeleton (mirrors the simulator's pruning floor).
+    backend / workers:
+        Where world construction runs; any
+        :class:`~repro.engine.backends.ExecutionBackend` (or name)
+        — coin flipping fans out over the canonical world chunks and
+        reassembles in order, so banks are backend-independent.
+    """
+
+    def __init__(
+        self,
+        instance: IMDPPInstance,
+        n_worlds: int = 20,
+        rng_seed: int = 0,
+        rng_context: tuple = ("sketch",),
+        extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
+        backend: ExecutionBackend | str | None = None,
+        workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        if n_worlds < 1:
+            raise ValueError(f"n_worlds must be >= 1, got {n_worlds}")
+        self.instance = instance
+        self.n_worlds = int(n_worlds)
+        self.rng_seed = int(rng_seed)
+        self.rng_context = tuple(rng_context)
+        self.skeleton = build_skeleton(instance, extra_adoption_floor)
+        resolved = resolve_backend(backend, workers)
+        task = SketchBuildTask(
+            prob=self.skeleton.prob,
+            rng_seed=self.rng_seed,
+            rng_context=self.rng_context,
+        )
+        packed_chunks = resolved.map_chunks(
+            build_worlds_chunk,
+            task,
+            chunk_indices(self.n_worlds, chunk_size),
+        )
+        n_entries = self.skeleton.n_entries
+        self.worlds: list[ReachabilitySketch] = []
+        for packed in itertools.chain.from_iterable(packed_chunks):
+            if n_entries:
+                live = np.unpackbits(packed, count=n_entries).astype(bool)
+            else:
+                live = np.zeros(0, dtype=bool)
+            self.worlds.append(
+                ReachabilitySketch(
+                    self.skeleton.n_pairs,
+                    self.skeleton.src[live],
+                    self.skeleton.dst[live],
+                )
+            )
+        #: Importance of the item behind each pair index — the weight
+        #: vector every coverage query dots against.
+        self.pair_importance = np.tile(
+            np.asarray(instance.importance, dtype=float), instance.n_users
+        )
+        self._stacked: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def pair_index(self, user: int, item: int) -> int:
+        """Flat index of the (user, item) pair."""
+        n_items = self.instance.n_items
+        if not (0 <= user < self.instance.n_users and 0 <= item < n_items):
+            raise SketchError(f"unknown pair ({user}, {item})")
+        return user * n_items + item
+
+    def nominee_pairs(
+        self, seed_group: SeedGroup, until_promotion: int | None = None
+    ) -> tuple[int, ...]:
+        """Canonical (sorted, distinct) pair indices of a seed group.
+
+        In a realized world the spread is timing-independent, so seeds
+        collapse to their nominees; seeds scheduled after
+        ``until_promotion`` are excluded, mirroring the simulator.
+        """
+        return tuple(
+            sorted(
+                {
+                    self.pair_index(seed.user, seed.item)
+                    for seed in seed_group
+                    if until_promotion is None
+                    or seed.promotion <= until_promotion
+                }
+            )
+        )
+
+    def restricted_importance(
+        self, restrict_users: Iterable[int]
+    ) -> np.ndarray:
+        """Pair weights counting only adopters inside ``restrict_users``."""
+        user_mask = np.zeros(self.instance.n_users, dtype=bool)
+        for user in restrict_users:
+            user_mask[user] = True
+        return self.pair_importance * np.repeat(
+            user_mask, self.instance.n_items
+        )
+
+    # ------------------------------------------------------------------
+    def spread_stats(
+        self,
+        pairs: Sequence[int],
+        restrict_users: Iterable[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Per-world spreads (and restricted spreads) of a nominee set."""
+        spreads = np.zeros(self.n_worlds)
+        restricted = (
+            np.zeros(self.n_worlds) if restrict_users is not None else None
+        )
+        if pairs:
+            weights = self.pair_importance
+            restricted_weights = (
+                self.restricted_importance(restrict_users)
+                if restrict_users is not None
+                else None
+            )
+            for i, world in enumerate(self.worlds):
+                mask = world.group_mask(pairs)
+                spreads[i] = float(weights[mask].sum())
+                if restricted is not None:
+                    restricted[i] = float(restricted_weights[mask].sum())
+        return spreads, restricted
+
+    def sigma(self, pairs: Sequence[int]) -> float:
+        """Mean importance-weighted spread of a nominee set."""
+        return float(self.spread_stats(pairs)[0].mean())
+
+    def stacked_reach(self, pair: int) -> np.ndarray:
+        """(n_worlds, n_pairs) reachability stack of one source pair.
+
+        Cached — the coverage greedy evaluates the same candidates
+        against an evolving covered set many times.  Read-only.
+        """
+        cached = self._stacked.get(pair)
+        if cached is None:
+            cached = np.stack(
+                [world.reach_mask(pair) for world in self.worlds]
+            )
+            self._stacked[pair] = cached
+            # Deduplicate: point each world's memoized mask at its row
+            # of the stack, so the bank holds one copy per candidate
+            # instead of stack + per-world masks.
+            for world, row in zip(self.worlds, cached):
+                world._reach[pair] = row
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RealizationBank(worlds={self.n_worlds}, "
+            f"pairs={self.skeleton.n_pairs}, "
+            f"coins={self.skeleton.n_entries})"
+        )

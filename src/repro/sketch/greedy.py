@@ -1,0 +1,119 @@
+"""CELF-style lazy greedy over realization-bank coverage.
+
+In a realization bank the frozen spread is an exact coverage function:
+the marginal gain of a nominee is the importance mass its reachability
+stack adds beyond the already-covered pairs, averaged over worlds.
+Gains are noise-free and provably non-increasing (submodularity of
+coverage), so the CELF lazy heap is exact here — no fallback
+re-comparisons, no Monte-Carlo variance.
+
+:func:`budgeted_coverage_greedy` mirrors the semantics of
+:func:`repro.core.submodular.budgeted_lazy_greedy` with
+``stop_on_negative_gain=False`` (the MCP rule of Procedure 2: keep
+extracting while any affordable nominee remains) but evaluates every
+gain incrementally against a per-world covered bitmask instead of
+re-unioning the selection per oracle call.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.submodular import GreedyResult
+from repro.errors import AlgorithmError
+from repro.sketch.bank import RealizationBank
+
+__all__ = ["CoverageEvaluator", "budgeted_coverage_greedy"]
+
+
+class CoverageEvaluator:
+    """Incremental marginal-gain evaluator over a realization bank.
+
+    Maintains the (n_worlds, n_pairs) covered bitmask of the current
+    selection; ``gain`` answers one candidate in a single vectorized
+    mask-and-dot, ``add`` commits a candidate by OR-ing its stack in.
+    """
+
+    def __init__(self, bank: RealizationBank):
+        self.bank = bank
+        self.covered = np.zeros(
+            (bank.n_worlds, bank.skeleton.n_pairs), dtype=bool
+        )
+        self.value = 0.0
+        self.n_gain_evaluations = 0
+
+    def gain(self, pair: int) -> float:
+        """Mean importance mass ``pair`` adds beyond the covered set."""
+        self.n_gain_evaluations += 1
+        fresh = self.bank.stacked_reach(pair) & ~self.covered
+        return float((fresh @ self.bank.pair_importance).mean())
+
+    def add(self, pair: int) -> float:
+        """Commit ``pair``; returns its (exact) marginal gain."""
+        reach = self.bank.stacked_reach(pair)
+        fresh = reach & ~self.covered
+        gained = float((fresh @ self.bank.pair_importance).mean())
+        self.covered |= reach
+        self.value += gained
+        return gained
+
+
+def budgeted_coverage_greedy(
+    bank: RealizationBank,
+    universe: Sequence[tuple[int, int]],
+    cost: Callable[[tuple[int, int]], float],
+    budget: float,
+) -> GreedyResult:
+    """MCP lazy greedy over (user, item) candidates, coverage gains.
+
+    Selection semantics match ``budgeted_lazy_greedy(...,
+    stop_on_negative_gain=False)`` driven by the sketch sigma oracle:
+    candidates are ranked by marginal gain per cost on a lazy heap,
+    stale bounds are re-evaluated only at the top, unaffordable
+    elements are skipped, and selection only ends when no affordable
+    candidate remains.  ``n_oracle_calls`` counts gain evaluations the
+    way the generic greedy counts value-oracle calls (one initial empty
+    evaluation included) so CELF pruning is comparable across oracles.
+    """
+    if budget <= 0:
+        raise AlgorithmError(f"budget must be positive, got {budget}")
+    evaluator = CoverageEvaluator(bank)
+    n_calls = 1  # the generic greedy's f(emptyset) evaluation
+
+    # Heap entries: (-ratio, tie_breaker, element, evaluated_at_size).
+    heap: list[tuple[float, int, tuple[int, int], int]] = []
+    for order, element in enumerate(universe):
+        element_cost = cost(element)
+        if element_cost <= 0:
+            raise AlgorithmError(f"cost of {element!r} must be positive")
+        gain = evaluator.gain(bank.pair_index(*element))
+        n_calls += 1
+        heapq.heappush(heap, (-gain / element_cost, order, element, 0))
+
+    selected: list[tuple[int, int]] = []
+    spent = 0.0
+    while heap:
+        neg_ratio, order, element, evaluated_at = heapq.heappop(heap)
+        element_cost = cost(element)
+        if spent + element_cost > budget:
+            continue  # no longer affordable; try others
+        if evaluated_at != len(selected):
+            gain = evaluator.gain(bank.pair_index(*element))
+            n_calls += 1
+            heapq.heappush(
+                heap, (-gain / element_cost, order, element, len(selected))
+            )
+            continue
+        selected.append(element)
+        evaluator.add(bank.pair_index(*element))
+        spent += element_cost
+
+    return GreedyResult(
+        selected=selected,
+        value=evaluator.value,
+        total_cost=spent,
+        n_oracle_calls=n_calls,
+    )

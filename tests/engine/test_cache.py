@@ -105,3 +105,32 @@ class TestSharedCache:
         a.sigma(GROUP)
         b.sigma(GROUP)
         assert cache.hits == 1 and cache.misses == 1
+
+    def test_oracle_kind_is_part_of_the_key(self, frozen_instance):
+        """mc and sketch estimators sharing a cache must never alias.
+
+        The two oracles return different estimates for the same query
+        (one simulates, one replays sketched worlds); before
+        ``oracle_kind`` entered the key an otherwise-identical pair
+        would have served each other's entries.
+        """
+        from repro.sketch import SketchSigmaEstimator
+
+        cache = SigmaCache()
+        kwargs = dict(n_samples=6, rng_factory=RngFactory(3), cache=cache)
+        mc = SigmaEstimator(frozen_instance, **kwargs)
+        sketch = SketchSigmaEstimator(frozen_instance, **kwargs)
+        assert (mc.oracle_kind, sketch.oracle_kind) == ("mc", "sketch")
+
+        first_mc = mc.estimate(GROUP, until_promotion=1)
+        first_sketch = sketch.estimate(GROUP, until_promotion=1)
+        # both were computed fresh, not served from each other
+        assert cache.misses == 2 and cache.hits == 0 and len(cache) == 2
+        # and each estimator keeps hitting its own entry
+        assert mc.estimate(GROUP, until_promotion=1) is first_mc
+        assert sketch.estimate(GROUP, until_promotion=1) is first_sketch
+        assert cache.hits == 2
+
+    def test_n_samples_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            SigmaEstimator(tiny_instance, n_samples=0)

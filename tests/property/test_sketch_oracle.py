@@ -1,0 +1,294 @@
+"""Property-based tests pinning the sketch oracle to the MC oracle.
+
+Three layers of agreement, from exact to statistical:
+
+* **Shared substreams -> exact.**  A from-scratch reference
+  implementation (scalar probability queries, dict-of-sets closure)
+  replays the documented canonical coin order with the *same* RNG
+  substreams ``spawn_rng(seed, "sketch", i)`` and must reproduce every
+  sketch sigma / marginal gain exactly — this pins both the world
+  semantics and the substream-consumption contract, so estimator
+  refactors cannot silently change either.
+* **Fixed worlds -> exact structure.**  Monotonicity and diminishing
+  returns hold exactly (coverage), which is what makes the CELF lazy
+  heap valid with zero noise.
+* **Independent sampling -> statistical.**  Against the sequential-draw
+  Monte-Carlo estimator the agreement is in distribution (Lemma 1);
+  independent estimates must agree within a few standard errors.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.diffusion.montecarlo import SigmaEstimator
+from repro.kg.relevance import RelevanceEngine
+from repro.perception.params import DynamicsParams
+from repro.sketch import RealizationBank, SketchSigmaEstimator
+from repro.social.network import SocialNetwork
+from repro.utils.rng import RngFactory, spawn_rng
+
+from tests.conftest import build_tiny_kg, build_tiny_metagraphs
+
+N_ITEMS = 4  # fixed by the tiny KG
+
+
+@st.composite
+def frozen_instances(draw):
+    """Small random frozen-dynamics instances over the tiny KG."""
+    n_users = draw(st.integers(4, 7))
+    possible_arcs = [
+        (u, v) for u in range(n_users) for v in range(n_users) if u != v
+    ]
+    arcs = draw(
+        st.lists(
+            st.sampled_from(possible_arcs),
+            min_size=2,
+            max_size=12,
+            unique=True,
+        )
+    )
+    network = SocialNetwork(n_users, directed=True)
+    for index, (u, v) in enumerate(arcs):
+        strength = draw(
+            st.floats(0.05, 0.95), label=f"strength[{index}]"
+        )
+        network.add_edge(u, v, strength)
+
+    kg, items = build_tiny_kg()
+    relevance = RelevanceEngine(kg, build_tiny_metagraphs(), items)
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    base_preference = rng.uniform(0.0, 0.9, size=(n_users, N_ITEMS))
+    weights = rng.uniform(0.2, 0.8, size=(n_users, relevance.n_meta))
+    importance = rng.uniform(0.1, 2.0, size=N_ITEMS)
+    association_scale = draw(st.sampled_from([0.0, 0.2, 0.6]))
+    return IMDPPInstance(
+        network=network,
+        kg=kg,
+        relevance=relevance,
+        importance=importance,
+        base_preference=base_preference,
+        initial_weights=weights,
+        costs=np.full((n_users, N_ITEMS), 5.0),
+        budget=40.0,
+        n_promotions=draw(st.integers(1, 3)),
+        dynamics=DynamicsParams(
+            eta=0.0,
+            beta=0.0,
+            gamma=0.0,
+            association_scale=association_scale,
+        ),
+        name="property",
+    )
+
+
+@st.composite
+def seed_groups(draw, n_users: int, n_promotions: int):
+    seeds = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_users - 1),
+                st.integers(0, N_ITEMS - 1),
+                st.integers(1, n_promotions),
+            ),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return SeedGroup(Seed(u, x, t) for u, x, t in seeds)
+
+
+# ---------------------------------------------------------------------------
+# reference implementation (intentionally scalar / set-based)
+# ---------------------------------------------------------------------------
+def reference_skeleton(instance):
+    """Canonical coin list via the scalar perception APIs."""
+    state = instance.new_state()
+    n_items = instance.n_items
+    entries = []  # (src_pair, dst_pair, probability)
+    for source in range(instance.n_users):
+        for target in sorted(instance.network.out_neighbors(source)):
+            strength = state.influence(source, target)
+            if strength <= 0.0:
+                continue
+            for item in range(n_items):
+                p = strength * state.preference_of(target, item)
+                if p > 0.0:
+                    entries.append(
+                        (source * n_items + item, target * n_items + item, p)
+                    )
+            if instance.dynamics.association_scale > 0.0:
+                for item in range(n_items):
+                    extra = state.extra_adoption_probs(
+                        target, source, item
+                    )
+                    for other in range(n_items):
+                        if other == item:
+                            continue
+                        if extra[other] > 1e-6:
+                            entries.append(
+                                (
+                                    source * n_items + item,
+                                    target * n_items + other,
+                                    float(extra[other]),
+                                )
+                            )
+    return entries
+
+
+def reference_world_spreads(instance, entries, rng_seed, n_worlds, pairs):
+    """Per-world spread of ``pairs`` by dict-of-sets closure."""
+    weights = np.tile(
+        np.asarray(instance.importance, dtype=float), instance.n_users
+    )
+    n_pairs = instance.n_users * instance.n_items
+    spreads = np.zeros(n_worlds)
+    probabilities = np.array([p for _, _, p in entries])
+    for i in range(n_worlds):
+        rng = spawn_rng(rng_seed, "sketch", i)
+        live = rng.random(probabilities.size) < probabilities
+        adjacency: dict[int, set[int]] = {}
+        for (src, dst, _), is_live in zip(entries, live):
+            if is_live:
+                adjacency.setdefault(src, set()).add(dst)
+        visited = set(pairs)
+        frontier = list(pairs)
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        mask = np.zeros(n_pairs, dtype=bool)
+        for node in visited:
+            mask[node] = True
+        spreads[i] = float(weights[mask].sum())
+    return spreads
+
+
+# ---------------------------------------------------------------------------
+# exactness under shared substreams
+# ---------------------------------------------------------------------------
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_sigma_exact_vs_reference_on_shared_substreams(data):
+    instance = data.draw(frozen_instances())
+    group = data.draw(
+        seed_groups(instance.n_users, instance.n_promotions)
+    )
+    estimator = SketchSigmaEstimator(
+        instance, n_samples=5, rng_factory=RngFactory(17)
+    )
+    estimate = estimator.estimate(group)
+
+    entries = reference_skeleton(instance)
+    pairs = {
+        seed.user * instance.n_items + seed.item for seed in group
+    }
+    expected = reference_world_spreads(
+        instance, entries, 17, 5, pairs
+    )
+    assert estimate.sigma == float(expected.mean())
+    assert estimate.sigma_std == float(expected.std())
+
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_marginal_gains_exact_vs_reference(data):
+    instance = data.draw(frozen_instances())
+    group = data.draw(
+        seed_groups(instance.n_users, instance.n_promotions)
+    )
+    extra = data.draw(
+        st.tuples(
+            st.integers(0, instance.n_users - 1),
+            st.integers(0, N_ITEMS - 1),
+        )
+    )
+    estimator = SketchSigmaEstimator(
+        instance, n_samples=4, rng_factory=RngFactory(23)
+    )
+    gain = estimator.sigma(
+        group.with_seed(Seed(extra[0], extra[1], 1))
+    ) - estimator.sigma(group)
+
+    entries = reference_skeleton(instance)
+    base_pairs = {
+        seed.user * instance.n_items + seed.item for seed in group
+    }
+    extra_pairs = base_pairs | {extra[0] * instance.n_items + extra[1]}
+    expected_gain = float(
+        reference_world_spreads(instance, entries, 23, 4, extra_pairs).mean()
+    ) - float(
+        reference_world_spreads(instance, entries, 23, 4, base_pairs).mean()
+    )
+    assert gain == expected_gain
+
+
+# ---------------------------------------------------------------------------
+# exact structure under fixed worlds
+# ---------------------------------------------------------------------------
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_monotone_and_submodular_on_fixed_worlds(data):
+    instance = data.draw(frozen_instances())
+    bank = RealizationBank(instance, n_worlds=4, rng_seed=3)
+    pair_ids = st.tuples(
+        st.integers(0, instance.n_users - 1),
+        st.integers(0, N_ITEMS - 1),
+    )
+    small = {
+        bank.pair_index(u, x)
+        for u, x in data.draw(
+            st.lists(pair_ids, min_size=0, max_size=2, unique=True)
+        )
+    }
+    grow = {
+        bank.pair_index(u, x)
+        for u, x in data.draw(
+            st.lists(pair_ids, min_size=1, max_size=2, unique=True)
+        )
+    }
+    element = bank.pair_index(*data.draw(pair_ids))
+    large = small | grow
+
+    def sigma(pairs: set) -> float:
+        return bank.sigma(tuple(sorted(pairs))) if pairs else 0.0
+
+    # monotone
+    assert sigma(large) >= sigma(small) - 1e-12
+    # diminishing returns: gain at the smaller set dominates
+    gain_small = sigma(small | {element}) - sigma(small)
+    gain_large = sigma(large | {element}) - sigma(large)
+    assert gain_small >= gain_large - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# statistical agreement under independent sampling
+# ---------------------------------------------------------------------------
+@given(data=st.data())
+@settings(max_examples=8, deadline=None, derandomize=True)
+def test_agrees_with_mc_within_tolerance(data):
+    """Independent sketch and MC estimates of the same sigma agree.
+
+    Lemma 1: realizing every coin up-front does not change the law of
+    the frozen spread, so both estimators sample the same expectation.
+    Derandomized so the examples (and thus the draw of both samplers)
+    are fixed — the assertion is a deterministic regression gate, not
+    a coin flip.
+    """
+    instance = data.draw(frozen_instances())
+    group = data.draw(
+        seed_groups(instance.n_users, instance.n_promotions)
+    )
+    n = 400
+    mc = SigmaEstimator(
+        instance, n_samples=n, rng_factory=RngFactory(101)
+    ).estimate(group)
+    sketch = SketchSigmaEstimator(
+        instance, n_samples=n, rng_factory=RngFactory(202)
+    ).estimate(group)
+    standard_error = (mc.sigma_std + sketch.sigma_std) / np.sqrt(n)
+    tolerance = 5.0 * standard_error + 1e-9
+    assert abs(mc.sigma - sketch.sigma) <= tolerance

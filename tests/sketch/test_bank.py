@@ -1,0 +1,158 @@
+"""Realization bank: construction, determinism, query semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Seed, SeedGroup
+from repro.engine import ProcessPoolBackend, SerialBackend, ThreadBackend
+from repro.errors import SketchError
+from repro.sketch import RealizationBank, build_skeleton
+from repro.utils.rng import spawn_rng
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    return build_tiny_instance().frozen()
+
+
+@pytest.fixture(scope="module")
+def bank(frozen):
+    return RealizationBank(frozen, n_worlds=8, rng_seed=3)
+
+
+class TestSkeleton:
+    def test_requires_frozen_dynamics(self):
+        with pytest.raises(SketchError):
+            build_skeleton(build_tiny_instance())
+
+    def test_probabilities_in_unit_interval(self, frozen):
+        skeleton = build_skeleton(frozen)
+        assert skeleton.prob.size > 0
+        assert skeleton.prob.min() > 0.0
+        assert skeleton.prob.max() <= 1.0
+
+    def test_entries_reference_valid_pairs(self, frozen):
+        skeleton = build_skeleton(frozen)
+        for array in (skeleton.src, skeleton.dst):
+            assert array.min() >= 0
+            assert array.max() < skeleton.n_pairs
+
+    def test_influence_edges_stay_within_item(self, frozen):
+        """Influence entries keep the item; only association crosses."""
+        skeleton = build_skeleton(frozen)
+        n_items = frozen.n_items
+        same_item = (skeleton.src % n_items) == (skeleton.dst % n_items)
+        # the tiny KG has complementary relations, so both kinds exist
+        assert same_item.any() and (~same_item).any()
+
+
+class TestDeterminism:
+    def test_same_stream_same_worlds(self, frozen):
+        a = RealizationBank(frozen, n_worlds=6, rng_seed=11)
+        b = RealizationBank(frozen, n_worlds=6, rng_seed=11)
+        pairs = (a.pair_index(0, 0), a.pair_index(3, 2))
+        assert np.array_equal(
+            a.spread_stats(pairs)[0], b.spread_stats(pairs)[0]
+        )
+
+    def test_different_seed_different_worlds(self, frozen):
+        a = RealizationBank(frozen, n_worlds=16, rng_seed=1)
+        b = RealizationBank(frozen, n_worlds=16, rng_seed=2)
+        pairs = tuple(
+            a.pair_index(u, x) for u in range(4) for x in range(2)
+        )
+        assert not np.array_equal(
+            a.spread_stats(pairs)[0], b.spread_stats(pairs)[0]
+        )
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [
+            lambda: ThreadBackend(workers=3, chunk_size=2),
+            lambda: ProcessPoolBackend(workers=2, chunk_size=2),
+        ],
+    )
+    def test_parallel_build_bit_identical(self, frozen, backend_factory):
+        """World construction fans out yet reassembles canonically."""
+        serial = RealizationBank(
+            frozen, n_worlds=7, rng_seed=5, backend=SerialBackend()
+        )
+        with backend_factory() as backend:
+            parallel = RealizationBank(
+                frozen, n_worlds=7, rng_seed=5, backend=backend
+            )
+        pairs = tuple(serial.pair_index(u, 0) for u in range(6))
+        assert np.array_equal(
+            serial.spread_stats(pairs)[0],
+            parallel.spread_stats(pairs)[0],
+        )
+        for ours, theirs in zip(serial.worlds, parallel.worlds):
+            assert ours.n_live_edges == theirs.n_live_edges
+
+    def test_world_draws_follow_substream(self, frozen):
+        """World i consumes spawn_rng(seed, *context, i) canonically."""
+        bank = RealizationBank(frozen, n_worlds=3, rng_seed=21)
+        skeleton = bank.skeleton
+        for i, world in enumerate(bank.worlds):
+            rng = spawn_rng(21, "sketch", i)
+            live = rng.random(skeleton.prob.size) < skeleton.prob
+            assert world.n_live_edges == int(live.sum())
+
+
+class TestQueries:
+    def test_empty_group_zero(self, bank):
+        spreads, restricted = bank.spread_stats((), restrict_users={0})
+        assert not spreads.any()
+        assert not restricted.any()
+
+    def test_source_counts_itself(self, bank, frozen):
+        pair = bank.pair_index(4, 1)
+        spreads, _ = bank.spread_stats((pair,))
+        assert (spreads >= float(frozen.importance[1])).all()
+
+    def test_monotone_in_nominees(self, bank):
+        small = (bank.pair_index(0, 0),)
+        large = (bank.pair_index(0, 0), bank.pair_index(3, 2))
+        assert bank.sigma(large) >= bank.sigma(small)
+
+    def test_union_decomposition(self, bank):
+        """Group spread per world is the union of singleton reaches."""
+        pairs = (bank.pair_index(1, 0), bank.pair_index(4, 3))
+        for world in bank.worlds:
+            union = world.reach_mask(pairs[0]) | world.reach_mask(pairs[1])
+            assert np.array_equal(world.group_mask(pairs), union)
+
+    def test_restricted_weights_subset(self, bank):
+        pairs = (bank.pair_index(0, 0), bank.pair_index(2, 1))
+        spreads, restricted = bank.spread_stats(pairs, restrict_users={0, 1})
+        assert (restricted <= spreads + 1e-12).all()
+
+    def test_nominee_pairs_timing_and_cutoff(self, bank):
+        group = SeedGroup(
+            [Seed(0, 0, 1), Seed(0, 0, 2), Seed(3, 2, 3)]
+        )
+        assert bank.nominee_pairs(group) == tuple(
+            sorted((bank.pair_index(0, 0), bank.pair_index(3, 2)))
+        )
+        # seeds after the cutoff are excluded, duplicates collapse
+        assert bank.nominee_pairs(group, until_promotion=2) == (
+            bank.pair_index(0, 0),
+        )
+
+    def test_pair_index_validation(self, bank):
+        with pytest.raises(SketchError):
+            bank.pair_index(99, 0)
+
+    def test_n_worlds_validation(self, frozen):
+        with pytest.raises(ValueError):
+            RealizationBank(frozen, n_worlds=0)
+
+    def test_stacked_reach_cached_and_consistent(self, bank):
+        pair = bank.pair_index(5, 3)
+        stacked = bank.stacked_reach(pair)
+        assert stacked is bank.stacked_reach(pair)
+        assert stacked.shape == (bank.n_worlds, bank.skeleton.n_pairs)
+        for world, row in zip(bank.worlds, stacked):
+            assert np.array_equal(world.reach_mask(pair), row)

@@ -1,0 +1,166 @@
+"""The coverage CELF greedy vs. the generic lazy greedy, same oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.dysim.nominees import select_nominees
+from repro.core.problem import Seed, SeedGroup
+from repro.core.submodular import budgeted_lazy_greedy
+from repro.errors import AlgorithmError
+from repro.sketch import (
+    CoverageEvaluator,
+    RealizationBank,
+    SketchSigmaEstimator,
+    budgeted_coverage_greedy,
+)
+from repro.utils.rng import RngFactory
+
+from tests.conftest import build_tiny_instance
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    return build_tiny_instance().frozen()
+
+
+@pytest.fixture(scope="module")
+def bank(frozen):
+    return RealizationBank(frozen, n_worlds=10, rng_seed=13)
+
+
+def _universe(instance):
+    return [
+        (user, item)
+        for user in range(instance.n_users)
+        for item in range(instance.n_items)
+    ]
+
+
+class TestEvaluator:
+    def test_gain_matches_sigma_difference(self, bank):
+        evaluator = CoverageEvaluator(bank)
+        first = bank.pair_index(0, 0)
+        second = bank.pair_index(3, 2)
+        gain_first = evaluator.add(first)
+        assert gain_first == pytest.approx(bank.sigma((first,)))
+        gain_second = evaluator.gain(second)
+        expected = bank.sigma(tuple(sorted((first, second)))) - bank.sigma(
+            (first,)
+        )
+        assert gain_second == pytest.approx(expected)
+
+    def test_add_accumulates_value(self, bank):
+        evaluator = CoverageEvaluator(bank)
+        pairs = [bank.pair_index(0, 0), bank.pair_index(4, 1)]
+        for pair in pairs:
+            evaluator.add(pair)
+        assert evaluator.value == pytest.approx(
+            bank.sigma(tuple(sorted(pairs)))
+        )
+
+    def test_gains_never_negative(self, bank):
+        evaluator = CoverageEvaluator(bank)
+        evaluator.add(bank.pair_index(1, 1))
+        for user in range(6):
+            for item in range(4):
+                assert evaluator.gain(bank.pair_index(user, item)) >= 0.0
+
+
+class TestGreedyEquivalence:
+    def test_matches_generic_lazy_greedy(self, frozen, bank):
+        """Same MCP semantics, evaluated incrementally vs. by re-union."""
+        universe = _universe(frozen)
+
+        def oracle(selection: frozenset) -> float:
+            if not selection:
+                return 0.0
+            return bank.sigma(
+                tuple(
+                    sorted(bank.pair_index(u, x) for u, x in selection)
+                )
+            )
+
+        def cost(pair):
+            return frozen.cost(*pair)
+
+        generic = budgeted_lazy_greedy(
+            universe,
+            oracle,
+            cost=cost,
+            budget=frozen.budget,
+            stop_on_negative_gain=False,
+        )
+        fast = budgeted_coverage_greedy(
+            bank, universe, cost, frozen.budget
+        )
+        assert fast.selected == generic.selected
+        assert fast.value == pytest.approx(generic.value)
+        assert fast.total_cost == pytest.approx(generic.total_cost)
+        assert fast.n_oracle_calls == generic.n_oracle_calls
+
+    def test_budget_validation(self, bank, frozen):
+        with pytest.raises(AlgorithmError):
+            budgeted_coverage_greedy(
+                bank, _universe(frozen), lambda p: 5.0, 0.0
+            )
+
+    def test_respects_budget(self, bank, frozen):
+        result = budgeted_coverage_greedy(
+            bank,
+            _universe(frozen),
+            lambda p: frozen.cost(*p),
+            frozen.budget,
+        )
+        assert result.total_cost <= frozen.budget + 1e-9
+        assert len(result.selected) == len(set(result.selected))
+
+
+class TestSelectNomineesFastPath:
+    def test_fast_path_equals_generic_path(self, frozen):
+        """select_nominees must pick the same nominees either way."""
+        base = build_tiny_instance()
+        fast_est = SketchSigmaEstimator(
+            frozen, n_samples=10, rng_factory=RngFactory(13)
+        )
+        fast = select_nominees(base, fast_est, pool_size=None)
+
+        # generic path: identical sketch oracle, forced through the
+        # value-oracle interface by bypassing isinstance dispatch
+        slow_est = SketchSigmaEstimator(
+            frozen, n_samples=10, rng_factory=RngFactory(13)
+        )
+        from repro.core.dysim import nominees as nominees_module
+        from repro.core.submodular import budgeted_lazy_greedy as generic
+
+        universe = nominees_module.rank_candidates(base, None)
+
+        def oracle(selection):
+            if not selection:
+                return 0.0
+            group = SeedGroup(
+                Seed(user, item, 1) for user, item in sorted(selection)
+            )
+            return slow_est.estimate(group, until_promotion=1).sigma
+
+        expected = generic(
+            universe,
+            oracle,
+            cost=lambda pair: base.cost(pair[0], pair[1]),
+            budget=base.budget,
+            stop_on_negative_gain=False,
+        )
+        assert fast.nominees == list(expected.selected)
+        assert fast.frozen_value == pytest.approx(expected.value)
+        assert fast.total_cost == pytest.approx(expected.total_cost)
+
+    def test_fast_path_counts_oracle_work(self, frozen):
+        base = build_tiny_instance()
+        estimator = SketchSigmaEstimator(
+            frozen, n_samples=6, rng_factory=RngFactory(3)
+        )
+        selection = select_nominees(base, estimator, pool_size=None)
+        assert selection.n_oracle_calls > 0
+        assert estimator.n_evaluations >= (
+            selection.n_oracle_calls * estimator.n_samples
+        )
+        assert np.isfinite(selection.frozen_value)
