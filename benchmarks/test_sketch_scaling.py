@@ -96,7 +96,8 @@ def test_sketch_selection_speedup(dataset_cache):
     # The acceptance bar: >= 3x at equal replication counts.  The
     # sketch pays bank construction once and then answers each of the
     # hundreds of MCP marginals by bitmask lookups, so the observed
-    # margin is typically 30-150x.
+    # margin is typically 30-150x — wide enough that even saturated CI
+    # runners cannot flake it, so it stays asserted under smoke.
     assert speedup >= 3.0, (
         f"sketch selection too slow: mc {mc_seconds:.3f}s vs "
         f"sketch {sketch_seconds:.3f}s ({speedup:.1f}x)"

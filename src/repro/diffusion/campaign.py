@@ -27,9 +27,10 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.problem import IMDPPInstance, SeedGroup
-from repro.diffusion.models import DiffusionModel
+from repro.diffusion.models import DiffusionModel, aggregated_influence
 from repro.errors import SimulationError
 from repro.perception.state import PerceptionState
+from repro.social.csr import row_gather
 
 __all__ = ["CampaignOutcome", "CampaignSimulator"]
 
@@ -102,11 +103,19 @@ class CampaignSimulator:
         model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
         max_steps_per_promotion: int = 200,
         extra_adoption_floor: float = 1e-6,
+        step_kernel: str = "vectorized",
     ):
+        if step_kernel not in ("vectorized", "scalar"):
+            raise SimulationError(
+                f"unknown step_kernel {step_kernel!r}; "
+                "expected 'vectorized' or 'scalar'"
+            )
         self.instance = instance
         self.model = model
         self.max_steps_per_promotion = int(max_steps_per_promotion)
         self.extra_adoption_floor = float(extra_adoption_floor)
+        self.step_kernel = step_kernel
+        self._base_state: PerceptionState | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -140,10 +149,17 @@ class CampaignSimulator:
             raise SimulationError(
                 f"until_promotion {last} exceeds T={instance.n_promotions}"
             )
-        state = (
-            initial_state.copy() if initial_state is not None
-            else instance.new_state()
-        )
+        if initial_state is not None:
+            state = initial_state.copy()
+        else:
+            # Copy from a simulator-held pristine state rather than
+            # rebuilding one per realization: under frozen weights
+            # (eta == 0) the copies share the complementary-row cache,
+            # so consecutive Monte-Carlo samples skip recomputing the
+            # campaign-constant Pext ingredients.
+            if self._base_state is None:
+                self._base_state = instance.new_state()
+            state = self._base_state.copy()
         new_adoptions = np.zeros(
             (instance.n_users, instance.n_items), dtype=bool
         )
@@ -210,7 +226,39 @@ class CampaignSimulator:
         rng: np.random.Generator,
         lt_thresholds: dict[tuple[int, int], float],
     ) -> list[tuple[int, int]]:
-        """One influence-propagation step; returns the new frontier."""
+        """One influence-propagation step; returns the new frontier.
+
+        Two kernels compute the identical step: the vectorized frontier
+        kernel (default) and the retained scalar reference.  Both flip
+        coins in the canonical event order — frontier entries in
+        commit order, each entry's out-arcs in CSR row order, per arc
+        the influence (or LT-threshold) draw first and then the
+        association draws by item ascending — so they consume the same
+        RNG substream draw for draw and produce bit-identical
+        realizations (pinned by ``tests/diffusion/test_step_equivalence``).
+        """
+        if self.step_kernel == "scalar":
+            return self._diffusion_step_scalar(
+                frontier, state, new_adoptions, rng, lt_thresholds
+            )
+        return self._diffusion_step_vectorized(
+            frontier, state, new_adoptions, rng, lt_thresholds
+        )
+
+    def _diffusion_step_scalar(
+        self,
+        frontier: list[tuple[int, int]],
+        state: PerceptionState,
+        new_adoptions: np.ndarray,
+        rng: np.random.Generator,
+        lt_thresholds: dict[tuple[int, int], float],
+    ) -> list[tuple[int, int]]:
+        """Scalar reference step (the pre-CSR per-arc loop).
+
+        Kept as the executable specification of the event order: the
+        equivalence suite asserts the vectorized kernel reproduces it
+        bit for bit, adoptions and RNG stream position alike.
+        """
         step_adoptions: dict[int, set[int]] = defaultdict(set)
         use_lt = self.model is DiffusionModel.LINEAR_THRESHOLD
 
@@ -258,6 +306,20 @@ class CampaignSimulator:
                         for other in eligible[draws < extra[eligible]]:
                             step_adoptions[target].add(int(other))
 
+        return self._commit_step(step_adoptions, state, new_adoptions)
+
+    def _commit_step(
+        self,
+        step_adoptions: dict[int, set[int]],
+        state: PerceptionState,
+        new_adoptions: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """Commit one step's adoption decisions and build the frontier.
+
+        Users commit in first-decision order, items ascending per user
+        — the order the next step's frontier (and hence its RNG
+        stream) depends on.
+        """
         committed: list[tuple[int, int]] = []
         commit_lists: dict[int, list[int]] = {}
         for user, items in step_adoptions.items():
@@ -269,6 +331,190 @@ class CampaignSimulator:
                     committed.append((user, item))
         state.apply_step_adoptions(commit_lists)
         return committed
+
+    def _diffusion_step_vectorized(
+        self,
+        frontier: list[tuple[int, int]],
+        state: PerceptionState,
+        new_adoptions: np.ndarray,
+        rng: np.random.Generator,
+        lt_thresholds: dict[tuple[int, int], float],
+    ) -> list[tuple[int, int]]:
+        """Vectorized frontier kernel.
+
+        Gathers every frontier out-arc as index arrays via the CSR
+        core, computes all event probabilities in batched NumPy
+        expressions against the previous step's state, and flips the
+        whole step's coins with a single ``rng.random(k)`` laid out in
+        the canonical event order (see :meth:`_diffusion_step`).  A
+        ``Generator.random(k)`` call consumes the identical substream
+        as ``k`` scalar draws, so the stream position after the step
+        matches the scalar reference exactly.
+        """
+        use_lt = self.model is DiffusionModel.LINEAR_THRESHOLD
+        n_items = state.n_items
+        csr = state.network.csr
+
+        promoters = np.fromiter(
+            (pair[0] for pair in frontier), dtype=np.int64, count=len(frontier)
+        )
+        promoted = np.fromiter(
+            (pair[1] for pair in frontier), dtype=np.int64, count=len(frontier)
+        )
+        starts = csr.out_indptr[promoters]
+        counts = csr.out_indptr[promoters + 1] - starts
+        if not counts.sum():
+            return []
+        gather = row_gather(starts, counts)
+        sources = np.repeat(promoters, counts)
+        items = np.repeat(promoted, counts)
+        targets = csr.out_indices[gather]
+        strengths = state.influence_batch(
+            sources, targets, csr.out_strength[gather]
+        )
+        # Arcs with zero strength produce no events at all (no draws),
+        # exactly like the scalar loop's early ``continue``.
+        live = strengths > 0.0
+        if not live.any():
+            return []
+        sources = sources[live]
+        items = items[live]
+        targets = targets[live]
+        strengths = strengths[live]
+        n_events = targets.size
+
+        already = state.adopted_many(targets, items)
+        preferences = state.preference_gather(targets, items)
+
+        # Association (Pext) coins: probabilities and eligibility per
+        # event over all items, mirroring extra_adoption_probs exactly
+        # (clip before the association_scale factor).
+        scale = state.params.association_scale
+        if scale != 0.0:
+            pair_keys = targets * n_items + items
+            unique_keys, inverse = np.unique(pair_keys, return_inverse=True)
+            unique_rows = np.empty((unique_keys.size, n_items))
+            for position, key in enumerate(unique_keys.tolist()):
+                target, item = divmod(key, n_items)
+                unique_rows[position] = state.complementary_row(target, item)
+            extra_probs = scale * np.clip(
+                (strengths * preferences)[:, None] * unique_rows[inverse],
+                0.0,
+                1.0,
+            )
+            eligible = extra_probs > self.extra_adoption_floor
+            eligible[np.arange(n_events), items] = False
+            eligible &= ~state.adopted_matrix(targets)
+            n_extra = eligible.sum(axis=1)
+        else:
+            eligible = None
+            n_extra = np.zeros(n_events, dtype=np.int64)
+
+        # Which events open with a draw: IC flips an influence coin for
+        # every not-yet-adopted (target, item); LT draws a threshold
+        # only on the first strength-positive encounter of a
+        # (target, item) without one.
+        if use_lt:
+            needs_draw = np.zeros(n_events, dtype=bool)
+            undecided = ~already
+            for event in np.flatnonzero(undecided).tolist():
+                key = (int(targets[event]), int(items[event]))
+                if key not in lt_thresholds:
+                    needs_draw[event] = True
+                    lt_thresholds[key] = None  # placeholder, filled below
+        else:
+            needs_draw = ~already
+
+        draws_per_event = needs_draw.astype(np.int64) + n_extra
+        offsets = np.zeros(n_events + 1, dtype=np.int64)
+        np.cumsum(draws_per_event, out=offsets[1:])
+        total_draws = int(offsets[-1])
+        draws = rng.random(total_draws) if total_draws else np.empty(0)
+
+        adopted_events: list[np.ndarray] = []
+        adopted_users: list[np.ndarray] = []
+        adopted_items: list[np.ndarray] = []
+        adopted_phase: list[np.ndarray] = []
+
+        if use_lt:
+            for event in np.flatnonzero(needs_draw).tolist():
+                key = (int(targets[event]), int(items[event]))
+                lt_thresholds[key] = float(draws[offsets[event]])
+            decided = np.flatnonzero(undecided)
+            if decided.size:
+                totals: dict[tuple[int, int], float] = {}
+                success = np.zeros(decided.size, dtype=bool)
+                for position, event in enumerate(decided.tolist()):
+                    key = (int(targets[event]), int(items[event]))
+                    total = totals.get(key)
+                    if total is None:
+                        total = self._lt_total(key[0], key[1], state)
+                        totals[key] = total
+                    success[position] = total >= lt_thresholds[key]
+                winners = decided[success]
+                adopted_events.append(winners)
+                adopted_users.append(targets[winners])
+                adopted_items.append(items[winners])
+                adopted_phase.append(np.zeros(winners.size, dtype=np.int64))
+        else:
+            decided = np.flatnonzero(needs_draw)
+            if decided.size:
+                success = (
+                    draws[offsets[decided]]
+                    < strengths[decided] * preferences[decided]
+                )
+                winners = decided[success]
+                adopted_events.append(winners)
+                adopted_users.append(targets[winners])
+                adopted_items.append(items[winners])
+                adopted_phase.append(np.zeros(winners.size, dtype=np.int64))
+
+        if eligible is not None and n_extra.sum():
+            event_index, item_index = np.nonzero(eligible)
+            extra_before = np.zeros(n_events + 1, dtype=np.int64)
+            np.cumsum(n_extra, out=extra_before[1:])
+            rank = np.arange(event_index.size) - extra_before[event_index]
+            positions = (
+                offsets[event_index] + needs_draw[event_index] + rank
+            )
+            success = draws[positions] < extra_probs[event_index, item_index]
+            adopted_events.append(event_index[success])
+            adopted_users.append(targets[event_index[success]])
+            adopted_items.append(item_index[success])
+            adopted_phase.append(1 + rank[success])
+
+        step_adoptions: dict[int, set[int]] = defaultdict(set)
+        if adopted_events:
+            events = np.concatenate(adopted_events)
+            users = np.concatenate(adopted_users)
+            new_items = np.concatenate(adopted_items)
+            phases = np.concatenate(adopted_phase)
+            # Scalar insertion order: events ascending, the influence
+            # decision before that event's association wins (item
+            # ascending).  The first insertion per user pins the
+            # commit order of the next frontier.
+            order = np.argsort(events * (n_items + 1) + phases, kind="stable")
+            for user, item in zip(
+                users[order].tolist(), new_items[order].tolist()
+            ):
+                step_adoptions[user].add(item)
+
+        return self._commit_step(step_adoptions, state, new_adoptions)
+
+    def _lt_total(
+        self, user: int, item: int, state: PerceptionState
+    ) -> float:
+        """Preference-gated LT influence mass for one (user, item).
+
+        The capped in-neighbour accumulation is exactly
+        ``AIS(user, item)`` under LT — delegate to the one
+        implementation of that float-ordering contract instead of
+        keeping a second copy in sync.
+        """
+        ais = aggregated_influence(
+            state, DiffusionModel.LINEAR_THRESHOLD, user, item
+        )
+        return ais * state.preference_of(user, item)
 
     def _lt_decision(
         self,

@@ -42,6 +42,29 @@ class DiffusionModel(enum.Enum):
     LINEAR_THRESHOLD = "LT"
 
 
+def _adopter_influences(
+    state: PerceptionState, user: int, adopters: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(selected in-neighbours, current strengths) of ``user``'s in-row.
+
+    ``adopters`` is a boolean mask over the row; only the selected
+    arcs have their (possibly similarity-driven) strength computed —
+    non-adopting neighbours contribute nothing, so batching them would
+    waste the per-arc similarity work in the dynamic regime.  Row
+    order (= historical dict order) is preserved.
+    """
+    neighbours, base = state.network.csr.in_row(user)
+    neighbours = neighbours[adopters]
+    if not neighbours.size:
+        return neighbours, base[adopters]
+    strengths = state.influence_batch(
+        neighbours,
+        np.full(neighbours.size, user, dtype=np.int64),
+        base[adopters],
+    )
+    return neighbours, strengths
+
+
 def aggregated_influence(
     state: PerceptionState,
     model: DiffusionModel,
@@ -51,16 +74,20 @@ def aggregated_influence(
     """``AIS(user, item)`` under the current perception state."""
     probability_none = 1.0
     total = 0.0
-    for neighbour in state.network.in_neighbors(user):
-        if item not in state.adopted[neighbour]:
-            continue
-        strength = state.influence(neighbour, user)
-        if strength <= 0.0:
-            continue
-        if model is DiffusionModel.INDEPENDENT_CASCADE:
-            probability_none *= 1.0 - strength
-        else:
-            total += strength
+    row_neighbours, _ = state.network.csr.in_row(user)
+    if row_neighbours.size:
+        adopters = state.adopted_many(
+            row_neighbours,
+            np.full(row_neighbours.size, item, dtype=np.int64),
+        )
+        _, strengths = _adopter_influences(state, user, adopters)
+        for strength in strengths.tolist():
+            if strength <= 0.0:
+                continue
+            if model is DiffusionModel.INDEPENDENT_CASCADE:
+                probability_none *= 1.0 - strength
+            else:
+                total += strength
     if model is DiffusionModel.INDEPENDENT_CASCADE:
         return 1.0 - probability_none
     return min(1.0, total)
@@ -73,26 +100,30 @@ def aggregated_influence_vector(
 ) -> np.ndarray:
     """``AIS(user, .)`` over all items at once.
 
-    Vectorized form of :func:`aggregated_influence`: one masked NumPy
-    update per in-neighbour instead of a Python loop per item.  The
-    per-item multiplication/addition order matches the scalar path
-    (neighbours are visited in the same order), so each entry equals
-    the scalar result exactly.
+    Vectorized form of :func:`aggregated_influence`: strengths are
+    batched over the CSR in-row (adopting neighbours only), then one
+    masked NumPy update per adopting in-neighbour instead of a Python
+    loop per item.  The per-item multiplication/addition order matches
+    the scalar path (neighbours are visited in row order, the same
+    order the dict API exposed), so each entry equals the scalar
+    result exactly.
     """
     use_ic = model is DiffusionModel.INDEPENDENT_CASCADE
     probability_none = np.ones(state.n_items)
     total = np.zeros(state.n_items)
-    for neighbour in state.network.in_neighbors(user):
-        adopted = state.adopted_row(neighbour)
-        if not adopted.any():
-            continue
-        strength = state.influence(neighbour, user)
-        if strength <= 0.0:
-            continue
-        if use_ic:
-            probability_none[adopted] *= 1.0 - strength
-        else:
-            total[adopted] += strength
+    row_neighbours, _ = state.network.csr.in_row(user)
+    if row_neighbours.size:
+        active = state.adopted_matrix(row_neighbours).any(axis=1)
+        neighbours, strengths = _adopter_influences(state, user, active)
+        for position, neighbour in enumerate(neighbours.tolist()):
+            strength = float(strengths[position])
+            if strength <= 0.0:
+                continue
+            adopted = state.adopted_row(neighbour)
+            if use_ic:
+                probability_none[adopted] *= 1.0 - strength
+            else:
+                total[adopted] += strength
     if use_ic:
         return 1.0 - probability_none
     return np.minimum(1.0, total)

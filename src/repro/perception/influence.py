@@ -24,7 +24,11 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["adoption_similarity", "influence_strength"]
+__all__ = [
+    "adoption_similarity",
+    "influence_strength",
+    "influence_strength_batch",
+]
 
 
 def adoption_similarity(
@@ -73,3 +77,21 @@ def influence_strength(
         return 0.0
     value = base_strength + gamma * similarity
     return max(min_influence, min(1.0, value))
+
+
+def influence_strength_batch(
+    base_strengths: np.ndarray,
+    similarities: np.ndarray,
+    gamma: float,
+    min_influence: float = 0.0,
+) -> np.ndarray:
+    """Vectorized :func:`influence_strength` over arc arrays.
+
+    Elementwise bit-identical to the scalar form: the clip pipeline is
+    the same sequence of IEEE-754 operations (``base + gamma * sim``,
+    ``min`` with 1, ``max`` with the floor, zeroed where no arc).
+    """
+    base_strengths = np.asarray(base_strengths, dtype=np.float64)
+    values = base_strengths + gamma * np.asarray(similarities, dtype=np.float64)
+    values = np.maximum(min_influence, np.minimum(1.0, values))
+    return np.where(base_strengths > 0.0, values, 0.0)

@@ -19,7 +19,11 @@ import numpy as np
 
 from repro.kg.relevance import RelevanceEngine
 from repro.perception.association import extra_adoption_probabilities
-from repro.perception.influence import adoption_similarity, influence_strength
+from repro.perception.influence import (
+    adoption_similarity,
+    influence_strength,
+    influence_strength_batch,
+)
 from repro.perception.params import DynamicsParams
 from repro.perception.pin import PersonalItemNetwork
 from repro.perception.preference import preference_vector
@@ -72,6 +76,13 @@ class PerceptionState:
         # allocated per user on first adoption.
         self._accumulated: dict[int, np.ndarray] = {}
         self._preference_cache: dict[int, np.ndarray] = {}
+        # complementary_row results per user -> item; valid until the
+        # user's weights change (invalidated with the preference cache).
+        self._complementary_cache: dict[int, dict[int, np.ndarray]] = {}
+        # Clipped base preferences (n_users, n_items) — the Ppref of
+        # every user the cross-elasticity update has not touched.
+        # State-independent, built lazily, shared across copies.
+        self._clipped_base: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def copy(self) -> "PerceptionState":
@@ -89,7 +100,27 @@ class PerceptionState:
         clone._accumulated = {
             user: acc.copy() for user, acc in self._accumulated.items()
         }
-        clone._preference_cache = {}
+        # With beta == 0 preferences never leave their clipped base
+        # values, so cached rows are campaign constants too: share the
+        # cache across copies (adoption-driven pops just trigger an
+        # identical recompute).  Under beta > 0 preferences depend on
+        # the copy's own accumulated relevance — keep caches private.
+        clone._preference_cache = (
+            self._preference_cache if self.params.beta == 0.0 else {}
+        )
+        # With eta == 0 no weight vector can ever change, so the
+        # complementary rows are campaign constants: share the cache
+        # object across copies and let every Monte-Carlo sample reuse
+        # the rows the first one computed (they are pure functions of
+        # the weights).  Under learning dynamics each copy caches
+        # privately and invalidates per user as weights move.
+        clone._complementary_cache = (
+            self._complementary_cache if self.params.eta == 0.0 else {}
+        )
+        # Built on the parent before the handoff so every clone (and
+        # later clones of this parent) shares one materialized matrix
+        # instead of each lazily rebuilding its own.
+        clone._clipped_base = self._clipped_base_matrix()
         return clone
 
     # ------------------------------------------------------------------
@@ -111,6 +142,22 @@ class PerceptionState:
         """
         return self._adopted_mask[user]
 
+    def adopted_many(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Adoption flags for parallel (user, item) index arrays."""
+        return self._adopted_mask[users, items]
+
+    def adopted_matrix(self, users: np.ndarray) -> np.ndarray:
+        """Adoption-mask rows for an array of users (a fresh copy)."""
+        return self._adopted_mask[np.asarray(users, dtype=np.int64)]
+
+    def _clipped_base_matrix(self) -> np.ndarray:
+        """Clipped base preferences for all users (lazy, shared)."""
+        if self._clipped_base is None:
+            self._clipped_base = np.clip(
+                self.base_preference, self.params.min_preference, 1.0
+            )
+        return self._clipped_base
+
     def preference(self, user: int) -> np.ndarray:
         """``Ppref(user, ., zeta_t)`` over all items (cached)."""
         cached = self._preference_cache.get(user)
@@ -118,9 +165,7 @@ class PerceptionState:
             return cached
         accumulated = self._accumulated.get(user)
         if accumulated is None or self.params.beta == 0.0:
-            vector = np.clip(
-                self.base_preference[user], self.params.min_preference, 1.0
-            )
+            vector = self._clipped_base_matrix()[user]
         else:
             vector = preference_vector(
                 self.base_preference[user],
@@ -155,17 +200,102 @@ class PerceptionState:
             base, similarity, self.params.gamma, self.params.min_influence
         )
 
+    def influence_batch(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        base_strengths: np.ndarray,
+    ) -> np.ndarray:
+        """``Pact(source, target, zeta_t)`` over arc arrays.
+
+        ``base_strengths`` are the CSR arc strengths for the
+        (source, target) pairs — supplied by the caller because the
+        frontier kernels already hold the row slices, which avoids any
+        per-arc lookup.  Elementwise equal (bit for bit) to calling
+        :meth:`influence` per arc: the frozen path (``gamma == 0``)
+        runs the identical clip pipeline vectorized; the dynamic path
+        evaluates the same per-arc similarity sequence.
+        """
+        base_strengths = np.asarray(base_strengths, dtype=np.float64)
+        if self.params.gamma == 0.0:
+            zero = base_strengths <= 0.0
+            values = np.maximum(self.params.min_influence, base_strengths)
+            values[zero] = 0.0
+            return values
+        similarities = np.empty(base_strengths.size, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        for position in range(base_strengths.size):
+            source = int(sources[position])
+            target = int(targets[position])
+            similarities[position] = adoption_similarity(
+                self.adopted[source],
+                self.adopted[target],
+                self.weights[source],
+                self.weights[target],
+            )
+        return influence_strength_batch(
+            base_strengths,
+            similarities,
+            self.params.gamma,
+            self.params.min_influence,
+        )
+
+    def preference_gather(
+        self, users: np.ndarray, items: np.ndarray
+    ) -> np.ndarray:
+        """``Ppref(user, item, zeta_t)`` for parallel (user, item) arrays.
+
+        With ``beta == 0`` every row is the clipped base, so the whole
+        gather is one fancy index into the shared matrix.  Under
+        cross-elasticity dynamics it walks distinct users, but only
+        users with adoption history need their dynamic vector — the
+        rest read the shared matrix too.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        base = self._clipped_base_matrix()
+        if self.params.beta == 0.0:
+            return base[users, items]
+        values = base[users, items]
+        touched = [
+            user
+            for user in np.unique(users).tolist()
+            if user in self._accumulated
+        ]
+        for user in touched:
+            rows = users == user
+            values[rows] = self.preference(user)[items[rows]]
+        return values
+
     def complementary_row(self, user: int, item: int) -> np.ndarray:
-        """``r^C(user, item, .)`` under the user's current weights."""
+        """``r^C(user, item, .)`` under the user's current weights.
+
+        Cached per (user, item) until the user's weights change — the
+        diffusion kernels query the same rows every step.  Treat the
+        returned array as read-only.
+        """
+        user_rows = self._complementary_cache.get(user)
+        if user_rows is None:
+            user_rows = self._complementary_cache[user] = {}
+        cached = user_rows.get(item)
+        if cached is not None:
+            return cached
         index = self.relevance.complementary_index
         if index.size == 0:
-            return np.zeros(self.n_items)
-        row = np.tensordot(
-            self.weights[user][index],
-            self.relevance.matrices[index, item, :],
-            axes=1,
-        )
-        return np.clip(row, 0.0, 1.0)
+            row = np.zeros(self.n_items)
+        else:
+            row = np.clip(
+                np.tensordot(
+                    self.weights[user][index],
+                    self.relevance.matrices[index, item, :],
+                    axes=1,
+                ),
+                0.0,
+                1.0,
+            )
+        user_rows[item] = row
+        return row
 
     def extra_adoption_probs(
         self, user: int, promoter: int, item: int
@@ -222,6 +352,8 @@ class PerceptionState:
                     history.add(item)
                     self._adopted_mask[user, item] = True
             self._preference_cache.pop(user, None)
+            if self.params.eta > 0.0:
+                self._complementary_cache.pop(user, None)
 
     def mark_adopted(self, user: int, item: int) -> bool:
         """Directly record an adoption (used for seeding at zeta=0).

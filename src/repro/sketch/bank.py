@@ -130,9 +130,23 @@ def build_skeleton(
     dst_parts: list[np.ndarray] = []
     prob_parts: list[np.ndarray] = []
 
+    # Canonical arc order: sources ascending, targets ascending within
+    # a source — served straight off the CSR core's sorted row view
+    # (``indptr`` slicing plus the row-sorted permutation), with the
+    # whole row's strengths batched in one call.
+    csr = instance.network.csr
     for source in range(n_users):
-        for target in sorted(instance.network.out_neighbors(source)):
-            strength = state.influence(source, target)
+        row_targets, row_base = csr.out_row_sorted(source)
+        if not row_targets.size:
+            continue
+        row_strengths = state.influence_batch(
+            np.full(row_targets.size, source, dtype=np.int64),
+            row_targets,
+            row_base,
+        )
+        for target, strength in zip(
+            row_targets.tolist(), row_strengths.tolist()
+        ):
             if strength <= 0.0:
                 continue
             p_act = strength * preference[target]

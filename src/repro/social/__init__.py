@@ -1,11 +1,14 @@
 """Social-network substrate: graphs, generators, MIOA, seed costs."""
 
+from repro.social.csr import CSRGraph, CSRGraphBuilder
 from repro.social.network import SocialNetwork
 from repro.social.mioa import mioa_region
 from repro.social.costs import seed_costs
 from repro.social.distances import bfs_hops, pairwise_social_distance
 
 __all__ = [
+    "CSRGraph",
+    "CSRGraphBuilder",
     "SocialNetwork",
     "mioa_region",
     "seed_costs",

@@ -1,0 +1,336 @@
+"""Immutable CSR adjacency core of the social network.
+
+The dict-of-dicts adjacency that seeded the repo is friendly to build
+incrementally but hostile to the diffusion hot paths: every frontier
+step re-materialized neighbour dicts and looped arc-by-arc in Python.
+This module splits the two concerns:
+
+* :class:`CSRGraphBuilder` — the mutable construction side.  Plain
+  insertion-ordered dicts per user, O(1) ``has_arc`` membership and
+  overwrite semantics identical to the historical ``add_edge``.
+* :class:`CSRGraph` — the frozen, immutable columnar core.  Both arc
+  directions as ``indptr`` / ``indices`` / ``strength`` float64 arrays,
+  a binary-searchable lookup view for O(log deg) strength queries, and
+  a lazily-built undirected neighbour view for social-closeness BFS.
+
+Row order is the **builder insertion order**, not sorted order.  This
+is load-bearing: the diffusion kernels iterate a frontier node's
+out-arcs in row order, and the common-random-numbers stream assigns
+one coin per arc event *in that order* — freezing must therefore
+reproduce exactly the neighbour order the historical dict API exposed,
+or every pinned realization (and the golden fixtures) would drift.
+Sorted views are derived separately where canonical sorted order is
+wanted (the sketch skeleton, arc lookups).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph", "CSRGraphBuilder", "bfs_levels", "row_gather"]
+
+
+def row_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices covering CSR rows given their starts and lengths.
+
+    ``[s0, s0+1, .., s0+c0-1, s1, ..]`` — the standard vectorized row
+    expansion (a cumulative ramp minus per-row offsets), used by every
+    frontier kernel to gather many adjacency rows in one fancy index.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    ramp = np.arange(total, dtype=np.int64)
+    return ramp - np.repeat(offsets, counts) + np.repeat(
+        np.asarray(starts, dtype=np.int64), counts
+    )
+
+
+def bfs_levels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n_nodes: int,
+    source: int,
+    max_depth: int | None = None,
+    node_mask: np.ndarray | None = None,
+):
+    """Level-synchronous BFS over a CSR adjacency; yields (depth, fresh).
+
+    One vectorized row gather per frontier instead of a per-node
+    neighbour walk.  ``fresh`` is the sorted array of nodes first
+    reached at ``depth`` (the source itself, depth 0, is not yielded).
+    ``node_mask`` restricts the traversal to an induced subgraph;
+    ``max_depth`` stops expanding once reached.  Shared by hop-distance
+    computation and subgraph-diameter estimation so the frontier loop
+    lives in exactly one place.
+    """
+    visited = np.zeros(n_nodes, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        if not counts.sum():
+            return
+        neighbours = indices[row_gather(starts, counts)]
+        if node_mask is not None:
+            neighbours = neighbours[node_mask[neighbours]]
+        fresh = np.unique(neighbours[~visited[neighbours]])
+        if not fresh.size:
+            return
+        visited[fresh] = True
+        depth += 1
+        yield depth, fresh
+        frontier = fresh
+
+
+class CSRGraphBuilder:
+    """Mutable arc accumulator that freezes into a :class:`CSRGraph`.
+
+    Arcs are single-direction; undirected mirroring is the caller's
+    concern (``SocialNetwork.add_edge`` inserts both directions).
+    Re-adding an existing arc overwrites its strength in place and
+    keeps its original position, mirroring dict semantics.
+    """
+
+    def __init__(self, n_users: int):
+        if n_users <= 0:
+            raise GraphError(f"n_users must be positive, got {n_users}")
+        self.n_users = int(n_users)
+        self.out: list[dict[int, float]] = [dict() for _ in range(n_users)]
+        self.into: list[dict[int, float]] = [dict() for _ in range(n_users)]
+        self.n_arcs = 0
+
+    def add_arc(self, source: int, target: int, strength: float) -> None:
+        """Insert (or overwrite) one directed arc."""
+        if target not in self.out[source]:
+            self.n_arcs += 1
+        self.out[source][target] = float(strength)
+        self.into[target][source] = float(strength)
+
+    def has_arc(self, source: int, target: int) -> bool:
+        """O(1) membership probe (no neighbour dict materialization)."""
+        return target in self.out[source]
+
+    def freeze(self) -> "CSRGraph":
+        """Build the immutable columnar core from the accumulated arcs."""
+        return CSRGraph(
+            self.n_users,
+            _pack(self.n_users, self.out),
+            _pack(self.n_users, self.into),
+        )
+
+
+def _pack(
+    n_users: int, rows: list[dict[int, float]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dict rows -> (indptr, indices, strength), insertion order kept."""
+    degrees = np.fromiter(
+        (len(row) for row in rows), count=n_users, dtype=np.int64
+    )
+    indptr = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    n_arcs = int(indptr[-1])
+    indices = np.empty(n_arcs, dtype=np.int64)
+    strength = np.empty(n_arcs, dtype=np.float64)
+    position = 0
+    for row in rows:
+        for target, value in row.items():
+            indices[position] = target
+            strength[position] = value
+            position += 1
+    indices.setflags(write=False)
+    strength.setflags(write=False)
+    indptr.setflags(write=False)
+    return indptr, indices, strength
+
+
+class CSRGraph:
+    """Frozen dual-direction CSR adjacency with float64 strengths.
+
+    ``out_row(u)`` / ``in_row(u)`` return zero-copy views; callers must
+    treat them as read-only.  Rows keep the builder's insertion order
+    (see module docstring); ``out_row_sorted`` provides the
+    target-ascending view used where canonical sorted order is part of
+    a pinned contract (the sketch skeleton's coin order).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        out: tuple[np.ndarray, np.ndarray, np.ndarray],
+        into: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ):
+        self.n_users = int(n_users)
+        self.out_indptr, self.out_indices, self.out_strength = out
+        self.in_indptr, self.in_indices, self.in_strength = into
+        self.n_arcs = int(self.out_indices.size)
+        self._lookup: tuple[np.ndarray, np.ndarray] | None = None
+        self._und: tuple[np.ndarray, np.ndarray] | None = None
+        self._out_neglog: np.ndarray | None = None
+
+    @property
+    def _sorted_lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sort_order, sorted_keys) of the out-direction, lazily built.
+
+        Because rows are contiguous and sources ascend, a stable
+        argsort of the flat (source * n + target) key sorts targets
+        within each row.  Only arc lookups and the sorted row view
+        need it — diffusion and BFS use insertion-order rows — so the
+        O(E log E) argsort is deferred like the other derived views.
+        """
+        if self._lookup is None:
+            keys = (
+                np.repeat(
+                    np.arange(self.n_users, dtype=np.int64),
+                    np.diff(self.out_indptr),
+                )
+                * self.n_users
+                + self.out_indices
+            )
+            order = np.argsort(keys, kind="stable")
+            self._lookup = (order, keys[order])
+        return self._lookup
+
+    # ------------------------------------------------------------------
+    def out_row(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """(targets, strengths) of arcs leaving ``user`` (views)."""
+        lo, hi = self.out_indptr[user], self.out_indptr[user + 1]
+        return self.out_indices[lo:hi], self.out_strength[lo:hi]
+
+    def in_row(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, strengths) of arcs entering ``user`` (views)."""
+        lo, hi = self.in_indptr[user], self.in_indptr[user + 1]
+        return self.in_indices[lo:hi], self.in_strength[lo:hi]
+
+    def out_row_sorted(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """Out-arcs of ``user`` with targets ascending."""
+        lo, hi = self.out_indptr[user], self.out_indptr[user + 1]
+        order = self._sorted_lookup[0][lo:hi]
+        return self.out_indices[order], self.out_strength[order]
+
+    def out_degree(self, user: int) -> int:
+        return int(self.out_indptr[user + 1] - self.out_indptr[user])
+
+    # ------------------------------------------------------------------
+    def _find(self, source: int, target: int) -> int:
+        """Global arc position of (source, target), or -1."""
+        order, sorted_keys = self._sorted_lookup
+        key = source * self.n_users + target
+        slot = int(np.searchsorted(sorted_keys, key))
+        if slot < sorted_keys.size and sorted_keys[slot] == key:
+            return int(order[slot])
+        return -1
+
+    def has_arc(self, source: int, target: int) -> bool:
+        """O(log deg) membership test on the frozen adjacency."""
+        return self._find(source, target) >= 0
+
+    def strength(self, source: int, target: int) -> float:
+        """Arc strength, 0.0 when the arc does not exist."""
+        position = self._find(source, target)
+        return float(self.out_strength[position]) if position >= 0 else 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def out_neglog_strength(self) -> np.ndarray:
+        """``-log(strength)`` per out-arc — Dijkstra edge lengths.
+
+        Computed with ``math.log`` (not ``np.log``): the two can differ
+        in the last ulp, and max-influence-path probabilities are
+        compared against pinned ``theta_path`` cutoffs, so the lengths
+        must be bit-identical to the historical per-arc ``math.log``
+        walk.  Built lazily, cached for the graph's lifetime; zero
+        strengths map to ``inf`` (arc never relaxes).
+        """
+        if self._out_neglog is None:
+            log = math.log
+            values = np.array(
+                [
+                    -log(p) if p > 0.0 else math.inf
+                    for p in self.out_strength.tolist()
+                ],
+                dtype=np.float64,
+            )
+            values.setflags(write=False)
+            self._out_neglog = values
+        return self._out_neglog
+
+    # ------------------------------------------------------------------
+    @property
+    def undirected(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) of the deduplicated undirected view.
+
+        Neighbours are target-ascending per node.  Built lazily on the
+        first social-closeness BFS and cached for the graph's lifetime.
+        """
+        if self._und is None:
+            out_src = np.repeat(
+                np.arange(self.n_users, dtype=np.int64),
+                np.diff(self.out_indptr),
+            )
+            in_src = np.repeat(
+                np.arange(self.n_users, dtype=np.int64),
+                np.diff(self.in_indptr),
+            )
+            keys = np.unique(
+                np.concatenate(
+                    [
+                        out_src * self.n_users + self.out_indices,
+                        in_src * self.n_users + self.in_indices,
+                    ]
+                )
+            )
+            nodes, neighbours = np.divmod(keys, self.n_users)
+            indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(nodes, minlength=self.n_users), out=indptr[1:]
+            )
+            neighbours.setflags(write=False)
+            indptr.setflags(write=False)
+            self._und = (indptr, neighbours)
+        return self._und
+
+    def undirected_row(self, user: int) -> np.ndarray:
+        """Neighbours of ``user`` ignoring arc direction (view)."""
+        indptr, indices = self.undirected
+        return indices[indptr[user]:indptr[user + 1]]
+
+    # ------------------------------------------------------------------
+    def to_builder(self) -> CSRGraphBuilder:
+        """Thaw back into a builder.
+
+        Both directions are restored row by row rather than replayed
+        through :meth:`CSRGraphBuilder.add_arc`: the in-row insertion
+        order is independent of the out-row order (it reflects the
+        original ``add_edge`` call sequence) and feeds float
+        accumulation order in the LT / AIS kernels, so a freeze-thaw
+        round trip must reproduce it exactly.
+        """
+        builder = CSRGraphBuilder(self.n_users)
+        for user in range(self.n_users):
+            lo, hi = self.out_indptr[user], self.out_indptr[user + 1]
+            builder.out[user] = dict(
+                zip(
+                    self.out_indices[lo:hi].tolist(),
+                    self.out_strength[lo:hi].tolist(),
+                )
+            )
+            lo, hi = self.in_indptr[user], self.in_indptr[user + 1]
+            builder.into[user] = dict(
+                zip(
+                    self.in_indices[lo:hi].tolist(),
+                    self.in_strength[lo:hi].tolist(),
+                )
+            )
+        builder.n_arcs = self.n_arcs
+        return builder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph({self.n_users} users, {self.n_arcs} arcs)"

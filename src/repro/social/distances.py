@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
+from repro.social.csr import bfs_levels
 from repro.social.network import SocialNetwork
 
 __all__ = ["bfs_hops", "pairwise_social_distance"]
@@ -18,21 +17,18 @@ def bfs_hops(
 
     Social *closeness* for clustering ignores arc direction: two users
     who influence each other in either direction are close.
+
+    Runs level-synchronous BFS over the CSR core's deduplicated
+    undirected neighbour view (built once per frozen graph) instead of
+    rebuilding ``set(out) | set(in)`` for every visited node.
     """
+    indptr, indices = network.csr.undirected
     distances = {source: 0}
-    queue: deque[int] = deque([source])
-    while queue:
-        node = queue.popleft()
-        depth = distances[node]
-        if depth >= max_hops:
-            continue
-        neighbours = set(network.out_neighbors(node)) | set(
-            network.in_neighbors(node)
-        )
-        for neighbour in neighbours:
-            if neighbour not in distances:
-                distances[neighbour] = depth + 1
-                queue.append(neighbour)
+    for depth, fresh in bfs_levels(
+        indptr, indices, network.n_users, source, max_depth=max_hops
+    ):
+        for node in fresh.tolist():
+            distances[node] = depth
     return distances
 
 

@@ -114,7 +114,10 @@ def scale_free_network(
     unique = sorted({(u, v) for u, v in edges if u != v})
     strengths = _draw_strengths(rng, len(unique), mean_strength)
     for (u, v), strength in zip(unique, strengths):
-        if v not in network.out_neighbors(u):
+        # O(1) membership probe on the builder — the historical
+        # ``v not in network.out_neighbors(u)`` materialized the whole
+        # neighbour dict per candidate arc.
+        if not network.has_arc(u, v):
             network.add_edge(u, v, float(strength))
     return network
 

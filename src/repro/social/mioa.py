@@ -13,6 +13,8 @@ import heapq
 import math
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.social.network import SocialNetwork
 
@@ -39,11 +41,73 @@ def mioa_region(
         Optional override for arc strengths (e.g. the *current*
         ``Pact`` during a campaign instead of the base strengths).
     """
+    cutoff = _theta_cutoff(theta_path)
+    if strength is not None:
+        return _mioa_region_callable(network, source, cutoff, strength)
+    best = np.full(network.n_users, np.inf)
+    settled = np.zeros(network.n_users, dtype=bool)
+    return _csr_mioa(network.csr, source, cutoff, best, settled)
+
+
+def _theta_cutoff(theta_path: float) -> float:
+    """Validate ``theta_path`` and return the ``-log`` distance cutoff."""
     if not 0.0 < theta_path <= 1.0:
         raise GraphError(f"theta_path must be in (0, 1], got {theta_path}")
-    get_strength = strength or network.base_strength
-    cutoff = -math.log(theta_path)
-    # Dijkstra on lengths -log(p); dist <= cutoff <=> path prob >= theta.
+    return -math.log(theta_path)
+
+
+def _csr_mioa(
+    csr,
+    source: int,
+    cutoff: float,
+    best: np.ndarray,
+    settled: np.ndarray,
+) -> dict[int, float]:
+    """Array-heap Dijkstra on lengths ``-log(p)`` over the CSR core.
+
+    ``dist <= cutoff`` <=> path prob >= theta.  Distances live in the
+    caller-provided dense scratch arrays (``best`` all-inf, ``settled``
+    all-False on entry); on return the entries at the result's keys are
+    dirty, so callers growing many regions (``mioa_union``) reset just
+    those and reuse the scratch instead of reallocating O(n_users) per
+    source.  The result dict preserves the first-relaxation insertion
+    order of the historical dict-based walk, which downstream float
+    accumulations iterate over.
+    """
+    indptr, indices = csr.out_indptr, csr.out_indices
+    lengths = csr.out_neglog_strength
+    best[source] = 0.0
+    order: dict[int, None] = {source: None}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if settled[node]:
+            continue
+        settled[node] = True
+        lo, hi = indptr[node], indptr[node + 1]
+        row_targets = indices[lo:hi]
+        candidates = dist + lengths[lo:hi]
+        relaxed = (candidates <= cutoff) & (candidates < best[row_targets])
+        for neighbour, candidate in zip(
+            row_targets[relaxed].tolist(), candidates[relaxed].tolist()
+        ):
+            # Duplicates within a row cannot occur, but a later arc in
+            # the same row can undercut an earlier one's tentative
+            # distance; the mask used the pre-row snapshot, so re-check.
+            if candidate < best[neighbour]:
+                best[neighbour] = candidate
+                order.setdefault(neighbour, None)
+                heapq.heappush(heap, (candidate, neighbour))
+    return {node: math.exp(-best[node]) for node in order}
+
+
+def _mioa_region_callable(
+    network: SocialNetwork,
+    source: int,
+    cutoff: float,
+    get_strength: Callable[[int, int], float],
+) -> dict[int, float]:
+    """Dijkstra with per-arc strength overrides (the pre-CSR walk)."""
     distances: dict[int, float] = {source: 0.0}
     heap: list[tuple[float, int]] = [(0.0, source)]
     settled: set[int] = set()
@@ -71,8 +135,26 @@ def mioa_union(
     theta_path: float = 1.0 / 320.0,
     strength: Callable[[int, int], float] | None = None,
 ) -> set[int]:
-    """Union of MIOA regions of several sources (a target market)."""
+    """Union of MIOA regions of several sources (a target market).
+
+    One pair of Dijkstra scratch arrays serves every source: regions
+    are usually tiny relative to the graph, so resetting the touched
+    entries between sources is far cheaper than reallocating dense
+    O(n_users) arrays per source.
+    """
     region: set[int] = set()
+    if strength is not None:
+        for source in sources:
+            region.update(mioa_region(network, source, theta_path, strength))
+        return region
+    cutoff = _theta_cutoff(theta_path)
+    csr = network.csr
+    best = np.full(network.n_users, np.inf)
+    settled = np.zeros(network.n_users, dtype=bool)
     for source in sources:
-        region.update(mioa_region(network, source, theta_path, strength))
+        reached = _csr_mioa(csr, source, cutoff, best, settled)
+        region.update(reached)
+        touched = np.fromiter(reached, dtype=np.int64, count=len(reached))
+        best[touched] = np.inf
+        settled[touched] = False
     return region

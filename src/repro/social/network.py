@@ -5,6 +5,15 @@ the *initial* influence strength ``Pact(u, v, 0)``; the perception
 layer (Sec. V-A(3)) adds a dynamic, similarity-driven component on top
 during diffusion.  Undirected friendships (Douban/Gowalla/Yelp in
 Table II) are stored as two directed arcs.
+
+Internally the network is two-phase (see :mod:`repro.social.csr`):
+while edges are being added it is a :class:`CSRGraphBuilder`; the
+first structural query that benefits from columnar storage freezes it
+into an immutable :class:`CSRGraph` (``indptr`` / ``indices`` /
+``strength`` arrays in both directions).  ``add_edge`` after a freeze
+transparently thaws back to the builder.  The historical dict-valued
+``out_neighbors`` / ``in_neighbors`` API remains as a compatibility
+view; hot paths should use :attr:`csr` directly.
 """
 
 from __future__ import annotations
@@ -12,8 +21,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator
 
+import numpy as np
 
 from repro.errors import GraphError
+from repro.social.csr import CSRGraph, CSRGraphBuilder, bfs_levels
 
 __all__ = ["SocialNetwork"]
 
@@ -41,14 +52,34 @@ class SocialNetwork:
             raise GraphError(f"n_users must be positive, got {n_users}")
         self.n_users = int(n_users)
         self.directed = bool(directed)
-        self._out: list[dict[int, float]] = [dict() for _ in range(n_users)]
-        self._in: list[dict[int, float]] = [dict() for _ in range(n_users)]
-        self._n_arcs = 0
+        self._builder: CSRGraphBuilder | None = CSRGraphBuilder(self.n_users)
+        self._csr: CSRGraph | None = None
 
     # ------------------------------------------------------------------
     def _check_user(self, user: int) -> None:
         if not 0 <= user < self.n_users:
             raise GraphError(f"unknown user {user!r}")
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The frozen CSR core (built on first access, then cached).
+
+        Safe under concurrent first access (thread backends share the
+        instance): the builder is read into a local before the slots
+        are swapped, and racing freezes produce identical graphs.
+        """
+        if self._csr is None:
+            builder = self._builder
+            if builder is not None:
+                self._csr = builder.freeze()
+                self._builder = None
+        return self._csr
+
+    def _thaw(self) -> CSRGraphBuilder:
+        if self._builder is None:
+            self._builder = self._csr.to_builder()
+            self._csr = None
+        return self._builder
 
     def add_edge(self, source: int, target: int, strength: float) -> None:
         """Add an influence arc; mirrored when the network is undirected."""
@@ -60,20 +91,19 @@ class SocialNetwork:
             raise GraphError(
                 f"influence strength must be in [0, 1], got {strength}"
             )
-        pairs = [(source, target)]
+        builder = self._thaw()
+        builder.add_arc(source, target, float(strength))
         if not self.directed:
-            pairs.append((target, source))
-        for u, v in pairs:
-            if v not in self._out[u]:
-                self._n_arcs += 1
-            self._out[u][v] = float(strength)
-            self._in[v][u] = float(strength)
+            builder.add_arc(target, source, float(strength))
 
     # ------------------------------------------------------------------
     @property
     def n_arcs(self) -> int:
         """Number of directed arcs stored."""
-        return self._n_arcs
+        builder = self._builder
+        if builder is not None:
+            return builder.n_arcs
+        return self._csr.n_arcs
 
     @property
     def n_friendships(self) -> int:
@@ -82,7 +112,7 @@ class SocialNetwork:
         For undirected networks each friendship is one stored arc pair;
         for directed networks it is simply the arc count.
         """
-        return self._n_arcs // 2 if not self.directed else self._n_arcs
+        return self.n_arcs // 2 if not self.directed else self.n_arcs
 
     def users(self) -> range:
         """Iterate over all user ids."""
@@ -91,41 +121,78 @@ class SocialNetwork:
     def out_neighbors(self, user: int) -> dict[int, float]:
         """Mapping neighbour -> base strength for arcs leaving ``user``."""
         self._check_user(user)
-        return dict(self._out[user])
+        builder = self._builder
+        if builder is not None:
+            return dict(builder.out[user])
+        targets, strengths = self.csr.out_row(user)
+        return dict(zip(targets.tolist(), strengths.tolist()))
 
     def in_neighbors(self, user: int) -> dict[int, float]:
         """Mapping neighbour -> base strength for arcs entering ``user``."""
         self._check_user(user)
-        return dict(self._in[user])
+        builder = self._builder
+        if builder is not None:
+            return dict(builder.into[user])
+        sources, strengths = self.csr.in_row(user)
+        return dict(zip(sources.tolist(), strengths.tolist()))
+
+    def has_arc(self, source: int, target: int) -> bool:
+        """Membership probe without materializing a neighbour dict.
+
+        O(1) on the builder side, O(log deg) binary search once frozen.
+        """
+        self._check_user(source)
+        self._check_user(target)
+        builder = self._builder
+        if builder is not None:
+            return builder.has_arc(source, target)
+        return self.csr.has_arc(source, target)
 
     def out_degree(self, user: int) -> int:
         """Number of arcs leaving ``user``."""
         self._check_user(user)
-        return len(self._out[user])
+        builder = self._builder
+        if builder is not None:
+            return len(builder.out[user])
+        return self.csr.out_degree(user)
 
     def base_strength(self, source: int, target: int) -> float:
         """Initial ``Pact(source, target, 0)``; 0.0 if no arc exists."""
         self._check_user(source)
         self._check_user(target)
-        return self._out[source].get(target, 0.0)
+        builder = self._builder
+        if builder is not None:
+            return builder.out[source].get(target, 0.0)
+        return self.csr.strength(source, target)
 
     def arcs(self) -> Iterator[tuple[int, int, float]]:
         """Iterate over all (source, target, strength) arcs."""
-        for source, targets in enumerate(self._out):
-            for target, strength in targets.items():
+        builder = self._builder
+        if builder is not None:
+            for source, targets in enumerate(builder.out):
+                for target, strength in targets.items():
+                    yield source, target, strength
+            return
+        csr = self.csr
+        for source in range(self.n_users):
+            targets, strengths = csr.out_row(source)
+            for target, strength in zip(
+                targets.tolist(), strengths.tolist()
+            ):
                 yield source, target, strength
 
     def average_strength(self) -> float:
         """Average initial influence strength (a Table II statistic)."""
-        if self._n_arcs == 0:
+        if self.n_arcs == 0:
             return 0.0
-        total = sum(strength for _, _, strength in self.arcs())
-        return total / self._n_arcs
+        return float(self.csr.out_strength.sum()) / self.n_arcs
 
     # ------------------------------------------------------------------
     def bfs_distances(self, source: int, max_hops: int | None = None) -> dict[int, int]:
         """Hop distances from ``source`` along out-arcs (BFS)."""
         self._check_user(source)
+        csr = self.csr
+        indptr, indices = csr.out_indptr, csr.out_indices
         distances = {source: 0}
         queue: deque[int] = deque([source])
         while queue:
@@ -133,7 +200,7 @@ class SocialNetwork:
             depth = distances[node]
             if max_hops is not None and depth >= max_hops:
                 continue
-            for neighbour in self._out[node]:
+            for neighbour in indices[indptr[node]:indptr[node + 1]].tolist():
                 if neighbour not in distances:
                     distances[neighbour] = depth + 1
                     queue.append(neighbour)
@@ -145,27 +212,33 @@ class SocialNetwork:
         Used as ``d_tau`` in Eq. (1): the item-impact propagation depth
         of a target market.  Unreachable pairs are ignored (markets are
         grown by MIOA and are usually, but not provably, connected).
+
+        Runs level-synchronous BFS on boolean membership arrays over
+        the CSR rows — one vectorized gather per frontier instead of a
+        dict-of-dicts walk per node.
         """
-        members = set(users)
+        members = sorted(set(users))
         for user in members:
             self._check_user(user)
+        csr = self.csr
+        member_mask = np.zeros(self.n_users, dtype=bool)
+        member_mask[members] = True
         diameter = 0
         for source in members:
-            distances = {source: 0}
-            queue: deque[int] = deque([source])
-            while queue:
-                node = queue.popleft()
-                depth = distances[node]
-                if depth >= cap:
-                    continue
-                for neighbour in self._out[node]:
-                    if neighbour in members and neighbour not in distances:
-                        distances[neighbour] = depth + 1
-                        queue.append(neighbour)
-            if distances:
-                diameter = max(diameter, max(distances.values()))
+            depth = 0
+            for depth, _ in bfs_levels(
+                csr.out_indptr,
+                csr.out_indices,
+                self.n_users,
+                source,
+                max_depth=cap,
+                node_mask=member_mask,
+            ):
+                pass
+            if depth > diameter:
+                diameter = depth
         return max(diameter, 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "directed" if self.directed else "undirected"
-        return f"SocialNetwork({self.n_users} users, {self._n_arcs} arcs, {kind})"
+        return f"SocialNetwork({self.n_users} users, {self.n_arcs} arcs, {kind})"

@@ -69,3 +69,64 @@ class TestDistances:
         net.add_edge(0, 1, 0.5)
         matrix = pairwise_social_distance(net, [0, 2], max_hops=4)
         assert matrix[0, 1] == 5.0  # max_hops + 1
+
+
+def reference_bfs_hops(
+    network: SocialNetwork, source: int, max_hops: int = 6
+) -> dict[int, int]:
+    """The pre-CSR implementation: per-node ``set(out) | set(in)``."""
+    from collections import deque
+
+    distances = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if depth >= max_hops:
+            continue
+        neighbours = set(network.out_neighbors(node)) | set(
+            network.in_neighbors(node)
+        )
+        for neighbour in neighbours:
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                queue.append(neighbour)
+    return distances
+
+
+class TestBfsRegression:
+    """The CSR BFS must reproduce the dict-walk distances exactly."""
+
+    def _pinned_net(self, seed: int, n: int = 40) -> SocialNetwork:
+        rng = np.random.default_rng(seed)
+        net = SocialNetwork(n, directed=True)
+        for _ in range(3 * n):
+            u, v = (int(x) for x in rng.integers(0, n, size=2))
+            if u != v:
+                net.add_edge(u, v, float(rng.uniform(0.05, 0.95)))
+        return net
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_distances_unchanged_on_pinned_random_graph(self, seed):
+        net = self._pinned_net(seed)
+        for source in range(0, net.n_users, 7):
+            assert bfs_hops(net, source) == reference_bfs_hops(net, source)
+
+    @pytest.mark.parametrize("max_hops", [1, 2, 5])
+    def test_hop_cap_respected(self, max_hops):
+        net = self._pinned_net(5)
+        fast = bfs_hops(net, 0, max_hops=max_hops)
+        assert fast == reference_bfs_hops(net, 0, max_hops=max_hops)
+        assert max(fast.values()) <= max_hops
+
+    def test_pairwise_matrix_unchanged(self):
+        net = self._pinned_net(99, n=25)
+        users = list(range(0, 25, 3))
+        matrix = pairwise_social_distance(net, users)
+        for i, user in enumerate(users):
+            hops = reference_bfs_hops(net, user)
+            for j, other in enumerate(users):
+                expected = float(min(hops.get(other, 7), 7))
+                # symmetrized min over both BFS directions
+                assert matrix[i, j] <= expected
+        assert (matrix == matrix.T).all()

@@ -1,0 +1,143 @@
+"""Tests for the immutable CSR adjacency core."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.social.csr import CSRGraphBuilder, row_gather
+from repro.social.network import SocialNetwork
+
+
+def build_sample() -> CSRGraphBuilder:
+    builder = CSRGraphBuilder(5)
+    # Deliberately out of sorted order: row order must preserve it.
+    builder.add_arc(0, 3, 0.9)
+    builder.add_arc(0, 1, 0.5)
+    builder.add_arc(2, 4, 0.7)
+    builder.add_arc(4, 0, 0.2)
+    builder.add_arc(2, 0, 0.1)
+    return builder
+
+
+class TestBuilder:
+    def test_rejects_zero_users(self):
+        with pytest.raises(GraphError):
+            CSRGraphBuilder(0)
+
+    def test_has_arc(self):
+        builder = build_sample()
+        assert builder.has_arc(0, 3)
+        assert not builder.has_arc(3, 0)
+
+    def test_overwrite_keeps_position_and_count(self):
+        builder = build_sample()
+        builder.add_arc(0, 3, 0.4)
+        assert builder.n_arcs == 5
+        graph = builder.freeze()
+        targets, strengths = graph.out_row(0)
+        assert targets.tolist() == [3, 1]
+        assert strengths.tolist() == [0.4, 0.5]
+
+
+class TestFrozenGraph:
+    def test_rows_keep_insertion_order(self):
+        graph = build_sample().freeze()
+        targets, strengths = graph.out_row(0)
+        assert targets.tolist() == [3, 1]
+        assert strengths.tolist() == [0.9, 0.5]
+        sources, strengths_in = graph.in_row(0)
+        assert sources.tolist() == [4, 2]
+        assert strengths_in.tolist() == [0.2, 0.1]
+
+    def test_sorted_row_view(self):
+        graph = build_sample().freeze()
+        targets, strengths = graph.out_row_sorted(0)
+        assert targets.tolist() == [1, 3]
+        assert strengths.tolist() == [0.5, 0.9]
+
+    def test_lookup(self):
+        graph = build_sample().freeze()
+        assert graph.has_arc(2, 4)
+        assert not graph.has_arc(4, 2)
+        assert graph.strength(2, 4) == 0.7
+        assert graph.strength(4, 2) == 0.0
+
+    def test_out_degree(self):
+        graph = build_sample().freeze()
+        assert graph.out_degree(0) == 2
+        assert graph.out_degree(3) == 0
+
+    def test_arrays_read_only(self):
+        graph = build_sample().freeze()
+        with pytest.raises(ValueError):
+            graph.out_strength[0] = 1.0
+        with pytest.raises(ValueError):
+            graph.out_indices[0] = 1
+
+    def test_undirected_view_dedups_and_sorts(self):
+        graph = build_sample().freeze()
+        assert graph.undirected_row(0).tolist() == [1, 2, 3, 4]
+        assert graph.undirected_row(2).tolist() == [0, 4]
+        assert graph.undirected_row(3).tolist() == [0]
+
+    def test_neglog_lengths_match_math_log(self):
+        graph = build_sample().freeze()
+        lengths = graph.out_neglog_strength
+        for value, p in zip(
+            lengths.tolist(), graph.out_strength.tolist()
+        ):
+            assert value == -math.log(p)
+
+    def test_freeze_thaw_round_trip_preserves_both_orders(self):
+        graph = build_sample().freeze()
+        thawed = graph.to_builder()
+        assert thawed.n_arcs == graph.n_arcs
+        refrozen = thawed.freeze()
+        for user in range(5):
+            for row in ("out_row", "in_row"):
+                a_idx, a_val = getattr(graph, row)(user)
+                b_idx, b_val = getattr(refrozen, row)(user)
+                assert a_idx.tolist() == b_idx.tolist()
+                assert a_val.tolist() == b_val.tolist()
+
+
+class TestRowGather:
+    def test_expands_rows(self):
+        starts = np.array([5, 0, 9])
+        counts = np.array([2, 0, 3])
+        assert row_gather(starts, counts).tolist() == [5, 6, 9, 10, 11]
+
+    def test_empty(self):
+        assert row_gather(np.zeros(0), np.zeros(0)).size == 0
+
+
+class TestNetworkIntegration:
+    def test_network_freezes_lazily_and_thaws_on_add(self):
+        net = SocialNetwork(4, directed=True)
+        net.add_edge(0, 2, 0.5)
+        assert net.csr.n_arcs == 1  # freezes
+        net.add_edge(0, 1, 0.3)  # thaws transparently
+        assert net.out_neighbors(0) == {2: 0.5, 1: 0.3}
+        assert net.csr.out_row(0)[0].tolist() == [2, 1]
+
+    def test_compat_dict_view_matches_rows(self):
+        net = SocialNetwork(4, directed=False)
+        net.add_edge(2, 1, 0.4)
+        net.add_edge(0, 2, 0.6)
+        frozen = net.csr
+        for user in range(4):
+            targets, strengths = frozen.out_row(user)
+            assert net.out_neighbors(user) == dict(
+                zip(targets.tolist(), strengths.tolist())
+            )
+
+    def test_has_arc_both_phases(self):
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        assert net.has_arc(0, 1) and not net.has_arc(1, 0)  # builder
+        net.csr  # freeze
+        assert net.has_arc(0, 1) and not net.has_arc(1, 0)  # frozen
+        with pytest.raises(GraphError):
+            net.has_arc(0, 9)

@@ -1,5 +1,8 @@
 """Tests for MIOA region growth."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.errors import GraphError
@@ -54,3 +57,89 @@ class TestMioaUnion:
     def test_union_covers_both_sources(self, chain):
         users = mioa_union(chain, [0, 3], theta_path=0.3)
         assert users == {0, 1, 3}
+
+
+def brute_force_region(
+    network: SocialNetwork, source: int, theta_path: float
+) -> dict[int, float]:
+    """Exhaustive max-influence-path enumeration (small graphs only).
+
+    Walks every simple path from ``source``, accumulating lengths
+    ``-log(p)`` prefix by prefix — the same IEEE-754 operation
+    sequence the Dijkstra kernel performs — and keeps the minimum per
+    node among paths that stay within the cutoff.
+    """
+    cutoff = -math.log(theta_path)
+    best: dict[int, float] = {source: 0.0}
+
+    def walk(node: int, dist: float, visited: frozenset[int]) -> None:
+        for neighbour, p in network.out_neighbors(node).items():
+            if neighbour in visited or p <= 0.0:
+                continue
+            candidate = dist - math.log(p)
+            if candidate > cutoff:
+                continue  # lengths are non-negative: no extension recovers
+            if candidate < best.get(neighbour, math.inf):
+                best[neighbour] = candidate
+            walk(neighbour, candidate, visited | {neighbour})
+
+    walk(source, 0.0, frozenset([source]))
+    return {node: math.exp(-dist) for node, dist in best.items()}
+
+
+class TestMioaAgainstBruteForce:
+    def _random_net(self, seed: int, n: int = 6, directed: bool = True):
+        rng = np.random.default_rng(seed)
+        net = SocialNetwork(n, directed=directed)
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.45:
+                    net.add_edge(u, v, float(rng.uniform(0.05, 0.95)))
+        return net
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize("theta", [0.5, 0.1, 1.0 / 320.0])
+    def test_matches_exhaustive_enumeration(self, seed, theta):
+        net = self._random_net(seed, directed=bool(seed % 2))
+        for source in range(net.n_users):
+            fast = mioa_region(net, source, theta_path=theta)
+            slow = brute_force_region(net, source, theta_path=theta)
+            assert fast == slow, (seed, theta, source)
+
+    def test_theta_boundary_tie_included(self):
+        # Path probability exactly equals theta_path: the region rule
+        # is ``>= theta`` (cutoff comparison is ``<=``), so the node
+        # must be included — in both implementations.
+        net = SocialNetwork(3, directed=True)
+        net.add_edge(0, 1, 0.5)
+        net.add_edge(1, 2, 0.5)
+        theta = 0.25
+        fast = mioa_region(net, 0, theta_path=theta)
+        slow = brute_force_region(net, 0, theta_path=theta)
+        assert fast == slow
+        assert 2 in fast
+        assert fast[2] == pytest.approx(0.25)
+
+    def test_boundary_tie_between_two_paths(self):
+        # Two distinct paths with the same probability: the kept value
+        # must be that probability regardless of which path settles
+        # first, and a theta at exactly that level keeps the node.
+        net = SocialNetwork(4, directed=True)
+        net.add_edge(0, 1, 0.5)
+        net.add_edge(1, 3, 0.5)
+        net.add_edge(0, 2, 0.5)
+        net.add_edge(2, 3, 0.5)
+        fast = mioa_region(net, 0, theta_path=0.25)
+        slow = brute_force_region(net, 0, theta_path=0.25)
+        assert fast == slow
+        assert 3 in fast
+
+    def test_insertion_order_of_result_preserved(self):
+        # Downstream float accumulations iterate the region dict; its
+        # insertion order is pinned to first-relaxation order.
+        net = SocialNetwork(4, directed=True)
+        net.add_edge(0, 3, 0.9)
+        net.add_edge(0, 1, 0.9)
+        net.add_edge(1, 2, 0.9)
+        region = mioa_region(net, 0, theta_path=0.01)
+        assert list(region) == [0, 3, 1, 2]
