@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.baselines.cr_greedy import assign_timings
-from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.problem import IMDPPInstance, Seed
+from repro.core.selection import MonteCarloGainOracle, first_strict_argmax
 from repro.diffusion.models import DiffusionModel
 from repro.engine import ExecutionBackend
 
@@ -59,33 +60,39 @@ def run_bgrd(
             / bundle_cost(u),
         )[:candidate_users]
 
+        # Elements of the gain oracle are *users*; ``seeds_of`` maps a
+        # user to their whole bundle, so one batched call evaluates
+        # every affordable candidate bundle jointly with the committed
+        # group (insertion order, as the scalar loop built it).
+        oracle = MonteCarloGainOracle(
+            frozen,
+            seeds_of=lambda user: tuple(
+                Seed(user, item, 1) for item in bundle_of(user)
+            ),
+            until_promotion=1,
+            sort_selection=False,
+        )
         chosen_users: list[int] = []
-        chosen_group = SeedGroup()
         spent = 0.0
         current_value = 0.0
         while True:
             # Cost enters only through feasibility: the paper extends
             # the baselines with budget checks, not cost-effectiveness.
-            best_user, best_value = None, current_value
-            for user in users:
-                if user in chosen_users:
-                    continue
-                cost = bundle_cost(user)
-                if spent + cost > instance.budget:
-                    continue
-                trial = chosen_group.union(
-                    Seed(user, item, 1) for item in bundle_of(user)
-                )
-                value = frozen.estimate(trial, until_promotion=1).sigma
-                if value > best_value:
-                    best_user, best_value = user, value
-            if best_user is None:
+            candidates = [
+                user
+                for user in users
+                if user not in chosen_users
+                and spent + bundle_cost(user) <= instance.budget
+            ]
+            best_index, best_value = first_strict_argmax(
+                oracle.values(candidates), current_value
+            )
+            if best_index is None:
                 break
+            best_user = candidates[best_index]
             chosen_users.append(best_user)
             spent += bundle_cost(best_user)
-            chosen_group.extend(
-                Seed(best_user, item, 1) for item in bundle_of(best_user)
-            )
+            oracle.commit(best_user, value=best_value)
             current_value = best_value
 
         picks = [

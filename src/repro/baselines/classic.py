@@ -17,7 +17,7 @@ from repro.baselines.common import (
     timer,
 )
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
-from repro.core.submodular import budgeted_lazy_greedy
+from repro.core.selection import MonteCarloGainOracle, mcp_lazy_greedy
 from repro.diffusion.models import DiffusionModel
 from repro.engine import ExecutionBackend
 from repro.utils.rng import spawn_rng
@@ -45,17 +45,12 @@ def run_celf_greedy(
         pool.sort(key=lambda p: -instance.network.out_degree(p[0]))
         pool = pool[:candidate_pairs]
 
-        def oracle(selection: frozenset) -> float:
-            if not selection:
-                return 0.0
-            group = SeedGroup(
-                Seed(u, x, 1) for u, x in sorted(selection)
-            )
-            return frozen.estimate(group, until_promotion=1).sigma
-
-        result = budgeted_lazy_greedy(
+        # Gains come from the unified selection layer: candidate
+        # blocks share one oracle call (fanned over the execution
+        # backend for the mc oracle) instead of one estimate per pop.
+        result = mcp_lazy_greedy(
             pool,
-            oracle,
+            MonteCarloGainOracle(frozen, until_promotion=1),
             cost=lambda p: instance.cost(*p),
             budget=instance.budget,
         )

@@ -12,6 +12,7 @@ user-item pairs.
 from __future__ import annotations
 
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.selection import first_strict_argmax, sigma_block
 from repro.diffusion.montecarlo import SigmaEstimator
 
 __all__ = ["assign_timings"]
@@ -47,16 +48,20 @@ def assign_timings(
     rounds = instance.n_promotions
     searched = min(rounds, max_rounds_searched or rounds)
     for user, item in picks:
-        best_seed: Seed | None = None
-        best_value = -float("inf")
-        for promotion in range(1, searched + 1):
-            candidate = Seed(user, item, promotion)
-            if candidate in scheduled:
-                continue
-            value = estimator.sigma(scheduled.with_seed(candidate))
-            if value > best_value:
-                best_value = value
-                best_seed = candidate
-        if best_seed is not None:
-            scheduled.add(best_seed)
+        # All timing variants of one pick are evaluated in a single
+        # batched call through the unified selection layer (cached and
+        # backend-fanned for the mc oracle); the scan replicates the
+        # scalar ``value > best_value`` comparison exactly.
+        candidates = [
+            Seed(user, item, promotion)
+            for promotion in range(1, searched + 1)
+            if Seed(user, item, promotion) not in scheduled
+        ]
+        values = sigma_block(
+            estimator,
+            [scheduled.with_seed(candidate) for candidate in candidates],
+        )
+        best_index, _ = first_strict_argmax(values, -float("inf"))
+        if best_index is not None:
+            scheduled.add(candidates[best_index])
     return scheduled

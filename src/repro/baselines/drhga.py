@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.baselines.cr_greedy import assign_timings
-from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.problem import IMDPPInstance
+from repro.core.selection import MonteCarloGainOracle, first_strict_argmax
 from repro.diffusion.models import DiffusionModel
 from repro.engine import ExecutionBackend
 
@@ -49,8 +50,14 @@ def run_drhga(
             key=lambda u: -instance.network.out_degree(u),
         )[:candidate_users]
 
+        # One gain oracle spans the whole selection: per (round, item)
+        # the affordable users' trial groups are evaluated in a single
+        # batched call (insertion-order groups, as the scalar loop
+        # built them via ``group.with_seed``).
+        oracle = MonteCarloGainOracle(
+            frozen, until_promotion=1, sort_selection=False
+        )
         chosen: list[tuple[int, int]] = []
-        group = SeedGroup()
         spent = 0.0
         current_value = 0.0
         # Round-robin over items (importance order) so the per-item
@@ -62,22 +69,21 @@ def run_drhga(
                 item = int(item)
                 # Feasibility-only cost handling, as with the other
                 # extended baselines.
-                best_user, best_value = None, current_value
-                for user in user_shortlist:
-                    if (user, item) in chosen:
-                        continue
-                    cost = instance.cost(user, item)
-                    if spent + cost > instance.budget:
-                        continue
-                    trial = group.with_seed(Seed(user, item, 1))
-                    value = frozen.estimate(trial, until_promotion=1).sigma
-                    if value > best_value:
-                        best_user, best_value = user, value
-                if best_user is None:
+                candidates = [
+                    (user, item)
+                    for user in user_shortlist
+                    if (user, item) not in chosen
+                    and spent + instance.cost(user, item) <= instance.budget
+                ]
+                best_index, best_value = first_strict_argmax(
+                    oracle.values(candidates), current_value
+                )
+                if best_index is None:
                     continue
+                best_user = candidates[best_index][0]
                 chosen.append((best_user, item))
                 spent += instance.cost(best_user, item)
-                group.add(Seed(best_user, item, 1))
+                oracle.commit((best_user, item), value=best_value)
                 current_value = best_value
                 progressed = True
             if not progressed:

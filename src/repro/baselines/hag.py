@@ -19,7 +19,8 @@ from repro.baselines.common import (
     timer,
 )
 from repro.baselines.cr_greedy import assign_timings
-from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.problem import IMDPPInstance
+from repro.core.selection import MonteCarloGainOracle, first_strict_argmax
 from repro.diffusion.models import DiffusionModel
 from repro.engine import ExecutionBackend
 
@@ -50,27 +51,31 @@ def run_hag(
         )
         pool = pool[:candidate_pairs]
 
+        # Each round evaluates every affordable pair's joint spread in
+        # one batched oracle call (insertion-order trial groups mirror
+        # the historical ``group.with_seed`` construction exactly).
+        oracle = MonteCarloGainOracle(
+            frozen, until_promotion=1, sort_selection=False
+        )
         chosen: list[tuple[int, int]] = []
-        group = SeedGroup()
         spent = 0.0
         current_value = 0.0
         while True:
-            best_pair, best_value = None, current_value
-            for pair in pool:
-                if pair in chosen:
-                    continue
-                cost = instance.cost(*pair)
-                if spent + cost > instance.budget:
-                    continue
-                trial = group.with_seed(Seed(pair[0], pair[1], 1))
-                value = frozen.estimate(trial, until_promotion=1).sigma
-                if value > best_value:
-                    best_pair, best_value = pair, value
-            if best_pair is None:
+            candidates = [
+                pair
+                for pair in pool
+                if pair not in chosen
+                and spent + instance.cost(*pair) <= instance.budget
+            ]
+            best_index, best_value = first_strict_argmax(
+                oracle.values(candidates), current_value
+            )
+            if best_index is None:
                 break
+            best_pair = candidates[best_index]
             chosen.append(best_pair)
             spent += instance.cost(*best_pair)
-            group.add(Seed(best_pair[0], best_pair[1], 1))
+            oracle.commit(best_pair, value=best_value)
             current_value = best_value
 
         scheduled = assign_timings(instance, chosen, frozen)

@@ -17,6 +17,11 @@ import itertools
 from repro.baselines.common import BaselineResult, make_estimators, timer
 from repro.core.dysim.nominees import rank_candidates
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.selection import (
+    first_strict_argmax,
+    get_default_gain_batch,
+    sigma_block,
+)
 from repro.diffusion.models import DiffusionModel
 from repro.engine import ExecutionBackend
 
@@ -86,6 +91,25 @@ def run_opt(
         best_group = SeedGroup()
         best_value = 0.0
         n_evaluated = 0
+        # Feasible combinations stream through the batched sigma
+        # evaluator in gain-batch-sized blocks (backend-fanned for the
+        # mc oracle); the enumeration order and the strict running-max
+        # comparison are those of the scalar loop, so the argmax
+        # cannot move.
+        block_size = get_default_gain_batch()
+        block: list[SeedGroup] = []
+
+        def flush() -> None:
+            nonlocal best_group, best_value, n_evaluated
+            if not block:
+                return
+            values = sigma_block(dynamic, block)
+            n_evaluated += len(block)
+            best_index, value = first_strict_argmax(values, best_value)
+            if best_index is not None:
+                best_group, best_value = block[best_index], value
+            block.clear()
+
         for size in range(1, max_seeds + 1):
             for combo in itertools.combinations(universe, size):
                 nominees = {seed_.nominee for seed_ in combo}
@@ -94,11 +118,10 @@ def run_opt(
                 cost = sum(instance.cost(s.user, s.item) for s in combo)
                 if cost > instance.budget:
                     continue
-                value = dynamic.sigma(SeedGroup(combo))
-                n_evaluated += 1
-                if value > best_value:
-                    best_value = value
-                    best_group = SeedGroup(combo)
+                block.append(SeedGroup(combo))
+                if len(block) >= block_size:
+                    flush()
+        flush()
 
     return BaselineResult(
         name="OPT",

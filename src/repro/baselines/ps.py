@@ -7,6 +7,12 @@ each selection so nearby candidates are not double counted.  The paper
 observes PS is fast, budget-insensitive, but weakest in spread because
 "it only estimates the influence of a seed alone and cannot utilize
 the impact of items from other promotions".
+
+PS's only sigma-oracle work is the CR-Greedy timing augmentation,
+which evaluates each pick's timing variants through the unified
+selection layer's batched evaluator (see
+:func:`repro.baselines.cr_greedy.assign_timings`); the selection loop
+itself ranks static path scores and needs no oracle.
 """
 
 from __future__ import annotations

@@ -18,6 +18,12 @@ substream regardless of the executing worker.
 realization bank of forward-reachability sketches — the same worlds
 for every query, no selection noise, several times faster at equal
 replication counts.  Dynamic evaluations always use Monte-Carlo.
+
+``--gain-batch`` sets how many candidates every selection phase asks
+its gain oracle per call (the unified selection layer,
+``repro.core.selection``).  Batching is a prefetch: it trades oracle
+vectorization / backend fan-out against a few wasted evaluations and
+can never change which seeds are selected.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.selection import set_default_gain_batch
 from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
 from repro.engine import BACKEND_NAMES, set_default_backend
 from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
@@ -93,6 +100,15 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "realization bank of reachability sketches (much faster at "
         "equal replication counts; dynamic evaluations stay MC)",
     )
+    parser.add_argument(
+        "--gain-batch",
+        type=_positive_int,
+        default=None,
+        help="candidates per gain-oracle block in the CELF engine and "
+        "OPT's enumeration (round-based baselines evaluate one full "
+        "round per call); prefetch only — selections are invariant "
+        "to it; default 32",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -132,6 +148,8 @@ def _command_stats(args) -> int:
 def _command_run(args) -> int:
     instance = _load(args)
     set_default_backend(args.backend, args.workers)
+    if args.gain_batch is not None:
+        set_default_gain_batch(args.gain_batch)
     result = run_algorithm(
         args.algorithm,
         instance,
@@ -152,6 +170,8 @@ def _command_run(args) -> int:
 def _command_compare(args) -> int:
     instance = _load(args)
     set_default_backend(args.backend, args.workers)
+    if args.gain_batch is not None:
+        set_default_gain_batch(args.gain_batch)
     names = [n for n in ALGORITHMS if n not in set(args.skip)]
     rows = []
     for name in names:

@@ -1,4 +1,11 @@
-"""The paper's primary contribution: IMDPP and the Dysim algorithm."""
+"""The paper's primary contribution: IMDPP and the Dysim algorithm.
+
+The selection layer lives in :mod:`repro.core.selection` (imported
+directly — not re-exported here, so ``repro.core.problem`` stays cheap
+to import in pool workers): every greedy in the repo ranks candidates
+through one batched :class:`~repro.core.selection.GainOracle` and one
+CELF implementation, :func:`~repro.core.selection.mcp_lazy_greedy`.
+"""
 
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 

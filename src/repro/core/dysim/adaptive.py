@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.dysim.algorithm import DysimConfig
 from repro.core.dysim.clustering import average_relevance_matrices
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
+from repro.core.selection import replicated_sigma_stats
 from repro.diffusion.campaign import CampaignSimulator
 from repro.engine import ReplicationTask, resolve_backend
 from repro.perception.state import PerceptionState
@@ -102,6 +103,39 @@ class AdaptiveDysim:
         )
 
     # ------------------------------------------------------------------
+    def _expected_round_sigmas(
+        self,
+        groups: list[SeedGroup],
+        state: PerceptionState,
+        promotion: int,
+        horizon: int,
+    ) -> list[float]:
+        """Monte-Carlo spreads of playing each group from the state.
+
+        The whole candidate block fans out through the configured
+        execution backend in one call
+        (:func:`~repro.core.selection.replicated_sigma_stats`), so a
+        process pool parallelizes across candidates; sample ``i`` of
+        every group replays the substream ``("plan", promotion, i)``
+        on every backend, preserving common random numbers — values
+        are bit-identical to evaluating the groups one at a time.
+        """
+        horizon = min(horizon, self.instance.n_promotions)
+        base = ReplicationTask(
+            instance=self.instance,
+            model=self.config.model,
+            rng_seed=self._factory.seed,
+            rng_context=("plan", promotion),
+            seed_group=SeedGroup(),
+            until_promotion=horizon,
+            initial_state=state,
+            start_promotion=promotion,
+        )
+        stats = replicated_sigma_stats(
+            self._backend, base, groups, self.config.n_samples_inner
+        )
+        return [mean for mean, _ in stats]
+
     def _expected_round_sigma(
         self,
         seeds: list[Seed],
@@ -109,26 +143,10 @@ class AdaptiveDysim:
         promotion: int,
         horizon: int,
     ) -> float:
-        """Monte-Carlo spread of playing ``seeds`` from the state.
-
-        Replications fan out through the configured execution backend;
-        sample ``i`` replays the substream ``("plan", promotion, i)``
-        on every backend, preserving common random numbers.
-        """
-        horizon = min(horizon, self.instance.n_promotions)
-        n = self.config.n_samples_inner
-        task = ReplicationTask(
-            instance=self.instance,
-            model=self.config.model,
-            rng_seed=self._factory.seed,
-            rng_context=("plan", promotion),
-            seed_group=SeedGroup(seeds),
-            until_promotion=horizon,
-            initial_state=state,
-            start_promotion=promotion,
-        )
-        result = self._backend.run(task, n)
-        return float(result.sigmas.sum()) / n
+        """Single-group convenience over :meth:`_expected_round_sigmas`."""
+        return self._expected_round_sigmas(
+            [SeedGroup(seeds)], state, promotion, horizon
+        )[0]
 
     def _is_antagonistic(
         self,
@@ -188,19 +206,30 @@ class AdaptiveDysim:
         pool = self._heuristic_rank(pool, state)[:pool_cap]
 
         while pool:
+            # One batched backend call evaluates every affordable
+            # candidate's trial group; the scan below replicates the
+            # scalar ratio comparison (including tie resolution to the
+            # earliest pool entry) on the returned values.
+            affordable = [
+                pair
+                for pair in pool
+                if instance.cost(*pair) <= budget_left - spent
+            ]
+            values = self._expected_round_sigmas(
+                [
+                    SeedGroup(
+                        [Seed(pair[0], pair[1], promotion)]
+                        + [Seed(u, x, promotion) for u, x in chosen]
+                    )
+                    for pair in affordable
+                ],
+                state,
+                promotion,
+                promotion,
+            )
             best_pair, best_ratio, best_value = None, 0.0, current_value
-            for pair in pool:
-                cost = instance.cost(*pair)
-                if cost > budget_left - spent:
-                    continue
-                value = self._expected_round_sigma(
-                    [Seed(pair[0], pair[1], promotion)]
-                    + [Seed(u, x, promotion) for u, x in chosen],
-                    state,
-                    promotion,
-                    promotion,
-                )
-                ratio = (value - current_value) / cost
+            for pair, value in zip(affordable, values):
+                ratio = (value - current_value) / instance.cost(*pair)
                 if ratio > best_ratio:
                     best_pair, best_ratio, best_value = pair, ratio, value
             if best_pair is None:
@@ -224,14 +253,15 @@ class AdaptiveDysim:
             if deferred:
                 deferred.append(pair)
                 continue
-            value_now = self._expected_round_sigma(
-                committed + [Seed(pair[0], pair[1], promotion)],
-                state,
-                promotion,
-                promotion + 1,
-            )
-            value_next = self._expected_round_sigma(
-                committed + [Seed(pair[0], pair[1], promotion + 1)],
+            value_now, value_next = self._expected_round_sigmas(
+                [
+                    SeedGroup(
+                        committed + [Seed(pair[0], pair[1], promotion)]
+                    ),
+                    SeedGroup(
+                        committed + [Seed(pair[0], pair[1], promotion + 1)]
+                    ),
+                ],
                 state,
                 promotion,
                 promotion + 1,

@@ -55,6 +55,16 @@ class DysimConfig:
         Samples for the dynamic DR / SI evaluations.
     candidate_pool:
         Nominee-universe cap (None = full user-item product).
+    singleton_pool:
+        How many top-ranked candidates compete for the Theorem-5
+        best-singleton fallback (None = the full nominee universe).
+        Previously a silent hard-coded 50 inside nominee selection.
+    gain_batch:
+        Candidates evaluated per gain-oracle block in the nominee MCP
+        greedy (None = the process-wide default,
+        :func:`repro.core.selection.get_default_gain_batch`, which the
+        CLI's ``--gain-batch`` sets for every algorithm).  Batching is
+        a prefetch — it cannot change selections.
     theta:
         Common-user threshold for grouping markets (Fig. 14 sweeps it).
     theta_path:
@@ -99,6 +109,8 @@ class DysimConfig:
     n_samples_selection: int = 12
     n_samples_inner: int = 12
     candidate_pool: int | None = 150
+    singleton_pool: int | None = None
+    gain_batch: int | None = None
     theta: int = 3
     theta_path: float = 1.0 / 320.0
     market_order: str = "AE"
@@ -131,6 +143,11 @@ class DysimResult:
     oracle: str = "mc"
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Stacked-reach LRU counters of the sketch oracle's realization
+    #: bank (always 0 under the mc oracle, which builds no bank).
+    bank_reach_hits: int = 0
+    bank_reach_misses: int = 0
+    bank_reach_evictions: int = 0
 
 
 class Dysim:
@@ -188,7 +205,11 @@ class Dysim:
         instance = self.instance
 
         selection = select_nominees(
-            instance, self._frozen_estimator, config.candidate_pool
+            instance,
+            self._frozen_estimator,
+            config.candidate_pool,
+            singleton_pool=config.singleton_pool,
+            gain_batch=config.gain_batch,
         )
         nominees = selection.nominees
 
@@ -231,6 +252,9 @@ class Dysim:
             best_group, fallback = final_group, "dysim"
         sigma = self._dynamic_estimator.sigma(best_group)
         runtime = time.perf_counter() - started
+        reach_stats = getattr(
+            self._frozen_estimator, "bank_reach_stats", None
+        )
         return DysimResult(
             seed_group=best_group,
             sigma=sigma,
@@ -247,6 +271,11 @@ class Dysim:
             oracle=self.config.oracle,
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
+            bank_reach_hits=reach_stats.hits if reach_stats else 0,
+            bank_reach_misses=reach_stats.misses if reach_stats else 0,
+            bank_reach_evictions=(
+                reach_stats.evictions if reach_stats else 0
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,14 @@ values — the submodular regime of Lemma 1, which is what gives Dysim
 its guarantee (Theorem 5).  Selection stops when no affordable nominee
 remains.
 
+Both oracles drive the same engine,
+:func:`repro.core.selection.mcp_lazy_greedy`: the Monte-Carlo path
+wraps the estimator in a
+:class:`~repro.core.selection.MonteCarloGainOracle` (candidate blocks
+fan out over the execution backend), the sketch fast path runs the
+packed-word :class:`~repro.core.selection.CoverageGainOracle` via
+:meth:`~repro.sketch.estimator.SketchSigmaEstimator.select_budgeted`.
+
 A candidate-pool cap keeps the ground set tractable on larger
 instances: candidates are pre-ranked by the cheap *quality* heuristic
 ``(1 + out_degree(u)) * Ppref(u, x, 0) * w_x`` and only the top pool
@@ -27,7 +35,12 @@ from dataclasses import dataclass
 
 
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
-from repro.core.submodular import budgeted_lazy_greedy
+from repro.core.selection import (
+    MonteCarloGainOracle,
+    first_strict_argmax,
+    mcp_lazy_greedy,
+    sigma_block,
+)
 from repro.diffusion.montecarlo import SigmaEstimator
 from repro.sketch.estimator import SketchSigmaEstimator
 
@@ -93,6 +106,8 @@ def select_nominees(
     instance: IMDPPInstance,
     estimator: SigmaEstimator,
     pool_size: int | None = 200,
+    singleton_pool: int | None = None,
+    gain_batch: int | None = None,
 ) -> NomineeSelection:
     """Run the MCP greedy and return the nominee set ``N``.
 
@@ -106,16 +121,16 @@ def select_nominees(
         Monte-Carlo estimator over ``instance.frozen()``.
     pool_size:
         Candidate pool cap (None = the full user-item universe).
+    singleton_pool:
+        How many top-ranked candidates compete for the Theorem-5
+        best-singleton fallback (None = the full universe).  This used
+        to be a silent hard-coded 50 — capping it can change which
+        singleton backs the approximation bound, so it is an explicit
+        knob now (``DysimConfig.singleton_pool``).
+    gain_batch:
+        Candidates per gain-oracle block (None = process default).
     """
     universe = rank_candidates(instance, pool_size)
-
-    def oracle(selection: frozenset) -> float:
-        if not selection:
-            return 0.0
-        group = SeedGroup(
-            Seed(user, item, 1) for user, item in sorted(selection)
-        )
-        return estimator.estimate(group, until_promotion=1).sigma
 
     def cost(pair: tuple[int, int]) -> float:
         return instance.cost(pair[0], pair[1])
@@ -128,28 +143,31 @@ def select_nominees(
         and estimator.supports_sketch
     ):
         # Sketch fast path: same MCP rule and lazy heap, but marginal
-        # gains are incremental bitmask lookups over the realization
+        # gains are batched packed-bitset lookups over the realization
         # bank instead of per-call re-unions — the selection-phase
         # speedup benchmarks/test_sketch_scaling.py asserts.
         result = estimator.select_budgeted(
-            universe, cost, instance.budget
+            universe, cost, instance.budget, gain_batch=gain_batch
         )
     else:
-        result = budgeted_lazy_greedy(
+        result = mcp_lazy_greedy(
             universe,
-            oracle,
-            cost=cost,
-            budget=instance.budget,
+            MonteCarloGainOracle(estimator, until_promotion=1),
+            cost,
+            instance.budget,
             stop_on_negative_gain=False,
+            batch_size=gain_batch,
         )
 
-    best_singleton: tuple[int, int] | None = None
-    best_value = 0.0
-    for pair in universe[: min(len(universe), 50)]:
-        value = oracle(frozenset([pair]))
-        if value > best_value:
-            best_value = value
-            best_singleton = pair
+    cap = len(universe) if singleton_pool is None else singleton_pool
+    singles = universe[: min(len(universe), cap)]
+    values = sigma_block(
+        estimator,
+        [SeedGroup([Seed(user, item, 1)]) for user, item in singles],
+        until_promotion=1,
+    )
+    best_index, best_value = first_strict_argmax(values, 0.0)
+    best_singleton = singles[best_index] if best_index is not None else None
 
     return NomineeSelection(
         nominees=list(result.selected),

@@ -1,0 +1,676 @@
+"""Unified selection layer: one batched gain oracle behind every greedy.
+
+Every selection procedure in the repo — Dysim's nominee MCP (Lemma 3),
+the composite SMK of Theorem 3, the seven baselines, the sketch fast
+path — reduces to the same primitive: *rank candidates by marginal gain
+(per cost) and commit the best*.  Before this module each consumer
+carried its own loop, each evaluating one candidate per oracle call.
+Here the primitive is factored into
+
+* a :class:`GainOracle` protocol — ``gains(candidates)`` answers a
+  whole block of marginal gains in one call, ``commit(candidate)``
+  advances the selection;
+* :class:`CoverageGainOracle` — exact coverage gains over a
+  realization bank rebuilt on packed ``uint64`` bitset words
+  (``np.bitwise_count`` with an ``unpackbits`` fallback for numpy<2),
+  evaluating a block of candidates per call via blockwise
+  mask-and-weight instead of one ``(n_worlds, n_pairs)`` boolean
+  temporary per candidate;
+* :class:`MonteCarloGainOracle` — sigma-difference gains from a
+  :class:`~repro.diffusion.montecarlo.SigmaEstimator`, fanning
+  uncached candidate blocks through
+  :meth:`~repro.engine.backends.ExecutionBackend.map_chunks` so a
+  process pool parallelizes *across candidates*, not only across the
+  replications of one candidate;
+* :func:`mcp_lazy_greedy` — the single CELF implementation, batched
+  re-evaluation of the top-B stale heap entries per round.
+
+Bit-identity contract
+---------------------
+``mcp_lazy_greedy`` commits candidates in *exactly* the order the
+scalar CELF loop would: batch evaluation is a pure prefetch.  Stale
+entries popped for a batch are pushed back **unchanged** (same heap
+keys), their freshly computed gains parked in a side table keyed by
+``(entry, selection_size)``; the heap pop order therefore never
+deviates from the scalar loop, and a candidate is committed only when
+it is popped fresh at the top — whatever the oracle's noise or
+non-submodularity.  Tie-breaking is by universe order (the ``order``
+component of the heap key), which is load-bearing: the pinned-seed
+goldens compare selections exactly, and equal-ratio candidates must
+keep resolving to the earlier universe entry.
+
+Packed-word layout
+------------------
+:class:`PairLayout` stores the ``n_users * n_items`` pair universe
+item-major with each item's users padded to a multiple of 64, so every
+``uint64`` word holds pairs of a single item.  A weighted coverage sum
+is then ``per-item popcounts @ importance`` — and the boolean scalar
+reference (:class:`~repro.sketch.greedy.CoverageEvaluator`) computes
+the same ``(counts per item) @ importance`` contraction, which is what
+makes batched packed gains *bit-identical* to the scalar reference,
+not merely approximately equal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.problem import Seed, SeedGroup
+
+# Import order matters: ``repro.diffusion`` must initialize before
+# ``repro.engine`` (the engine's replication module imports the
+# diffusion simulator mid-initialization — the same order every other
+# consumer establishes via ``repro.diffusion.montecarlo``).
+from repro.diffusion.montecarlo import (
+    SigmaBatchTask,
+    evaluate_sigma_chunk,
+    replicated_sigma_stats,
+)
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "DEFAULT_GAIN_BATCH",
+    "GreedyResult",
+    "GainOracle",
+    "FunctionGainOracle",
+    "CoverageGainOracle",
+    "MonteCarloGainOracle",
+    "PairLayout",
+    "SigmaBatchTask",
+    "evaluate_sigma_chunk",
+    "first_strict_argmax",
+    "get_default_gain_batch",
+    "mcp_lazy_greedy",
+    "popcount_words",
+    "replicated_sigma_stats",
+    "set_default_gain_batch",
+    "sigma_block",
+]
+
+#: How many candidates a gain oracle is asked to answer per call —
+#: both when priming the CELF heap and when re-evaluating stale
+#: entries.  Batching is a prefetch, so the value trades oracle
+#: vectorization against wasted evaluations near the end of a round;
+#: it can never change the selection.
+DEFAULT_GAIN_BATCH = 32
+
+_default_gain_batch = DEFAULT_GAIN_BATCH
+
+
+def set_default_gain_batch(batch: int) -> int:
+    """Install the process-wide gain batch size (CLI ``--gain-batch``)."""
+    global _default_gain_batch
+    if batch < 1:
+        raise ValueError(f"gain batch must be >= 1, got {batch}")
+    _default_gain_batch = int(batch)
+    return _default_gain_batch
+
+
+def get_default_gain_batch() -> int:
+    """The process-wide gain batch size."""
+    return _default_gain_batch
+
+
+@dataclass
+class GreedyResult:
+    """Output of a greedy pass.
+
+    Attributes
+    ----------
+    selected:
+        Chosen elements in pick order.
+    value:
+        ``f(selected)``.
+    total_cost:
+        Sum of element costs.
+    n_oracle_calls:
+        Candidate-gain evaluations plus the conventional ``f(empty)``
+        call (the paper counts complexity in function calls).  Batched
+        prefetching may evaluate slightly more candidates than the
+        strictly lazy scalar loop; the count reports work actually
+        done.
+    """
+
+    selected: list[Hashable]
+    value: float
+    total_cost: float
+    n_oracle_calls: int
+
+
+class GainOracle(Protocol):
+    """Batched marginal-gain evaluator over a growing selection.
+
+    ``gains`` answers a whole candidate block against the *committed*
+    selection; ``commit`` advances the selection by one element.  The
+    ``value`` attribute tracks ``f(selected)`` exactly as the scalar
+    greedy would accumulate it (so downstream comparisons replicate the
+    scalar arithmetic bit for bit), and ``n_evaluations`` counts
+    candidate-gain evaluations for CELF accounting.
+    """
+
+    value: float
+    n_evaluations: int
+
+    #: Cap on how many *stale heap entries* the engine may prefetch
+    #: per oracle call (None = the engine's batch size).  Prefetched
+    #: gains can be discarded on the next commit, so an oracle whose
+    #: evaluations are expensive and unvectorized (Monte-Carlo on a
+    #: serial backend) advertises 1 — heap priming is unaffected, it
+    #: has no waste.
+    prefetch_limit: int | None
+
+    def gains(self, candidates: Sequence) -> np.ndarray:
+        """Marginal gains of ``candidates`` w.r.t. the selection."""
+        ...
+
+    def commit(
+        self, candidate, gain: float | None = None, *, value: float | None = None
+    ) -> None:
+        """Add ``candidate``; update ``value`` by ``gain`` or to ``value``."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# packed bitset kernel
+# ---------------------------------------------------------------------------
+
+#: numpy >= 2 has a vectorized popcount ufunc; older versions fall
+#: back to ``unpackbits`` over the byte view (identical integer
+#: counts, hence bit-identical downstream floats).
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_unpackbits(words: np.ndarray) -> np.ndarray:
+    """Per-word popcount via ``np.unpackbits`` (numpy<2 fallback)."""
+    contiguous = np.ascontiguousarray(words)
+    as_bytes = contiguous.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1)
+    return bits.reshape(*words.shape, 64).sum(axis=-1, dtype=np.int64)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Population count of each ``uint64`` word, as ``int64``.
+
+    Bit counts are order-agnostic, so the two implementations agree
+    exactly — the numpy-compat CI leg exercises the fallback.
+    """
+    if HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    return _popcount_unpackbits(words)
+
+
+class PairLayout:
+    """Item-major packed-word layout of the (user, item) pair universe.
+
+    Pair ``(u, x)`` (flat index ``u * n_items + x``) lives at bit
+    ``x * padded_users + u`` where ``padded_users`` rounds ``n_users``
+    up to a multiple of 64.  Every 64-bit word therefore holds users of
+    a *single* item, so any importance-weighted coverage sum reduces to
+    per-item popcounts dotted with the importance vector — the
+    contraction both the packed kernel and the boolean scalar
+    reference share (bit-identical floats).
+    """
+
+    def __init__(self, n_users: int, n_items: int, importance: np.ndarray):
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.importance = np.asarray(importance, dtype=float)
+        if self.importance.shape != (self.n_items,):
+            raise ValueError(
+                f"importance must have shape ({self.n_items},), "
+                f"got {self.importance.shape}"
+            )
+        self.words_per_item = max(1, -(-self.n_users // 64))
+        self.padded_users = self.words_per_item * 64
+        self.n_words = self.n_items * self.words_per_item
+        self.n_pairs = self.n_users * self.n_items
+
+    # -- packing -------------------------------------------------------
+    def pack(self, mask: np.ndarray) -> np.ndarray:
+        """Pack a boolean pair mask ``(..., n_pairs)`` into words."""
+        mask = np.asarray(mask, dtype=bool)
+        lead = mask.shape[:-1]
+        by_item = mask.reshape(*lead, self.n_users, self.n_items)
+        by_item = np.swapaxes(by_item, -1, -2)  # (..., n_items, n_users)
+        padded = np.zeros(
+            (*lead, self.n_items, self.padded_users), dtype=bool
+        )
+        padded[..., : self.n_users] = by_item
+        packed = np.packbits(padded, axis=-1)  # uint8, big-endian bits
+        words = np.ascontiguousarray(packed).view(np.uint64)
+        return words.reshape(*lead, self.n_words)
+
+    def unpack(self, words: np.ndarray) -> np.ndarray:
+        """Invert :meth:`pack` back to a boolean pair mask."""
+        words = np.asarray(words, dtype=np.uint64)
+        lead = words.shape[:-1]
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=-1).astype(bool)
+        by_item = bits.reshape(*lead, self.n_items, self.padded_users)
+        by_item = by_item[..., : self.n_users]
+        by_user = np.swapaxes(by_item, -1, -2)
+        return np.ascontiguousarray(by_user).reshape(*lead, self.n_pairs)
+
+    # -- weighted coverage ---------------------------------------------
+    def item_counts(self, words: np.ndarray) -> np.ndarray:
+        """Per-item set-bit counts ``(..., n_items)`` of packed words."""
+        counts = popcount_words(words)
+        return counts.reshape(
+            *words.shape[:-1], self.n_items, self.words_per_item
+        ).sum(axis=-1)
+
+    def item_counts_bool(self, mask: np.ndarray) -> np.ndarray:
+        """Per-item counts of a boolean pair mask (scalar reference)."""
+        mask = np.asarray(mask, dtype=bool)
+        return mask.reshape(
+            *mask.shape[:-1], self.n_users, self.n_items
+        ).sum(axis=-2, dtype=np.int64)
+
+    def weighted_sum(self, counts: np.ndarray) -> np.ndarray:
+        """``counts @ importance`` — the shared float contraction.
+
+        Both the packed kernel and the boolean reference funnel their
+        integer per-item counts through this one matmul, which is what
+        makes their gains bit-identical.
+        """
+        return counts.astype(float) @ self.importance
+
+
+# ---------------------------------------------------------------------------
+# gain oracles
+# ---------------------------------------------------------------------------
+class FunctionGainOracle:
+    """Adapter: a classic value oracle ``f(frozenset) -> float``.
+
+    Evaluates ``f(empty)`` once on first use (the conventional call
+    every greedy counts — deferred past input validation so an invalid
+    budget or cost never triggers oracle work) and answers candidate
+    blocks by re-unioning the selection — exactly what the scalar
+    :func:`~repro.core.submodular.budgeted_lazy_greedy` loop did, so
+    values and call counts are unchanged.
+    """
+
+    #: One candidate per call: value oracles are plain Python — no
+    #: vectorization, no backend — so speculative stale-entry
+    #: prefetching is pure waste; with this limit the engine's call
+    #: counts match the historical scalar loop *exactly*.
+    prefetch_limit = 1
+
+    def __init__(self, oracle: Callable[[frozenset], float]):
+        self._f = oracle
+        self._selected: frozenset = frozenset()
+        self._value: float | None = None
+        self.n_evaluations = 0
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            self._value = float(self._f(frozenset()))
+        return self._value
+
+    @value.setter
+    def value(self, new_value: float) -> None:
+        self._value = float(new_value)
+
+    def gains(self, candidates: Sequence) -> np.ndarray:
+        base = self.value
+        out = np.empty(len(candidates))
+        for i, element in enumerate(candidates):
+            out[i] = self._f(self._selected | {element}) - base
+        self.n_evaluations += len(candidates)
+        return out
+
+    def commit(
+        self, candidate, gain: float | None = None, *, value: float | None = None
+    ) -> None:
+        self._selected = self._selected | {candidate}
+        if value is not None:
+            self.value = value
+        else:
+            self.value = self.value + float(gain)
+
+
+class CoverageGainOracle:
+    """Exact coverage gains over a packed realization bank.
+
+    One call answers a whole candidate block: the candidates' packed
+    reachability stacks are ANDed against the complement of the packed
+    covered mask, per-item popcounts contracted with the importance
+    vector, and averaged over worlds — no ``(n_worlds, n_pairs)``
+    boolean temporary per candidate.  Gains are bit-identical to the
+    boolean scalar reference (:class:`~repro.sketch.greedy.
+    CoverageEvaluator`) because both reduce through
+    :meth:`PairLayout.weighted_sum`.
+    """
+
+    #: Unlimited prefetch: a block of packed gains costs barely more
+    #: than one, so wasted speculative evaluations are nearly free.
+    prefetch_limit = None
+
+    def __init__(self, bank):
+        self.bank = bank
+        self.layout: PairLayout = bank.layout
+        self._covered = np.zeros(
+            (bank.n_worlds, self.layout.n_words), dtype=np.uint64
+        )
+        self.value = 0.0
+        self.n_evaluations = 0
+
+    def _pair(self, element) -> int:
+        if isinstance(element, tuple):
+            return self.bank.pair_index(*element)
+        return int(element)
+
+    def gains(self, candidates: Sequence) -> np.ndarray:
+        pairs = [self._pair(element) for element in candidates]
+        stacked = np.stack(
+            [self.bank.stacked_reach_packed(pair) for pair in pairs]
+        )  # (block, n_worlds, n_words)
+        fresh = stacked & ~self._covered[None, :, :]
+        weighted = self.layout.weighted_sum(self.layout.item_counts(fresh))
+        self.n_evaluations += len(pairs)
+        return weighted.mean(axis=-1)
+
+    def commit(
+        self, candidate, gain: float | None = None, *, value: float | None = None
+    ) -> None:
+        reach = self.bank.stacked_reach_packed(self._pair(candidate))
+        self._covered |= reach
+        if value is not None:
+            self.value = value
+        else:
+            self.value += float(gain)
+
+
+def _default_seeds_of(element) -> tuple[Seed, ...]:
+    user, item = element
+    return (Seed(user, item, 1),)
+
+
+class MonteCarloGainOracle:
+    """Sigma-difference gains from a (possibly sketch) sigma estimator.
+
+    Candidate blocks are answered by :func:`sigma_block`: cached
+    estimates are served from the estimator's
+    :class:`~repro.engine.cache.SigmaCache`; for a plain Monte-Carlo
+    estimator the misses fan out through the estimator's execution
+    backend *across candidates* (previously a process pool only
+    parallelized the replications of one candidate at a time).  Every
+    estimate is bit-identical to ``estimator.estimate(...)`` and lands
+    in the same cache under the same key.
+
+    Parameters
+    ----------
+    estimator:
+        The frozen-phase sigma estimator (MC or sketch).
+    seeds_of:
+        Maps a universe element to its seeds; defaults to a (user,
+        item) pair seeded in promotion 1.
+    until_promotion:
+        Horizon forwarded to every estimate (selection phases use 1).
+    sort_selection:
+        True — trial groups enumerate ``sorted(set(selected) | {c})``
+        (nominee / classic-CELF convention); False — trial groups
+        extend the committed group in pick order (HAG / BGRD / DRHGA
+        convention).  Matching the consumer's historical group
+        construction keeps estimates bit-identical.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        *,
+        seeds_of: Callable[[Hashable], Iterable[Seed]] | None = None,
+        until_promotion: int | None = 1,
+        sort_selection: bool = True,
+    ):
+        self.estimator = estimator
+        self.until_promotion = until_promotion
+        self.sort_selection = bool(sort_selection)
+        self._seeds_of = seeds_of or _default_seeds_of
+        self._selected: list = []
+        self._base: SeedGroup | None = None  # insertion-order cache
+        self.value = 0.0
+        self.n_evaluations = 0
+
+    @property
+    def prefetch_limit(self) -> int | None:
+        """Speculative stale-entry prefetching is only worth full
+        sigma evaluations when a worker pool absorbs them; on the
+        serial backend one candidate per re-evaluation is strictly
+        cheaper (and matches the historical scalar call counts)."""
+        backend = getattr(self.estimator, "backend", None)
+        if backend is not None and backend.name == "serial":
+            return 1
+        return None
+
+    # -- group construction (must mirror each consumer exactly) --------
+    def _base_group(self) -> SeedGroup:
+        # Rebuilt once per commit, not once per candidate: a values()
+        # block over c candidates unions each onto this shared base
+        # (SeedGroup.union copies, so the cache is never mutated).
+        if self._base is None:
+            group = SeedGroup()
+            for element in self._selected:
+                group.extend(self._seeds_of(element))
+            self._base = group
+        return self._base
+
+    def group_with(self, candidate) -> SeedGroup:
+        """The trial seed group ``selected + candidate``."""
+        if self.sort_selection:
+            elements = sorted(set(self._selected) | {candidate})
+            group = SeedGroup()
+            for element in elements:
+                group.extend(self._seeds_of(element))
+            return group
+        return self._base_group().union(self._seeds_of(candidate))
+
+    # -- GainOracle ----------------------------------------------------
+    def values(self, candidates: Sequence) -> np.ndarray:
+        """Raw trial-group sigmas (consumers comparing absolute values)."""
+        groups = [self.group_with(candidate) for candidate in candidates]
+        self.n_evaluations += len(candidates)
+        return sigma_block(
+            self.estimator, groups, until_promotion=self.until_promotion
+        )
+
+    def gains(self, candidates: Sequence) -> np.ndarray:
+        return self.values(candidates) - self.value
+
+    def commit(
+        self, candidate, gain: float | None = None, *, value: float | None = None
+    ) -> None:
+        self._selected.append(candidate)
+        self._base = None
+        if value is not None:
+            self.value = value
+        else:
+            self.value += float(gain)
+
+
+# ---------------------------------------------------------------------------
+# batched sigma evaluation
+# ---------------------------------------------------------------------------
+def sigma_block(
+    estimator,
+    groups: Sequence[SeedGroup],
+    until_promotion: int | None = None,
+) -> np.ndarray:
+    """Batched ``estimator.estimate(group).sigma`` over many groups.
+
+    Thin alias for :meth:`~repro.diffusion.montecarlo.SigmaEstimator.
+    estimate_block` — the cache/RNG recipe lives with the estimator so
+    batched and per-call estimates can never drift apart.  Cache
+    behaviour, counters and float results match per-group ``estimate``
+    calls exactly; plain Monte-Carlo misses fan out over the backend
+    across candidates, sketch (and other overriding) estimators answer
+    per group.
+    """
+    return estimator.estimate_block(groups, until_promotion=until_promotion)
+
+
+def first_strict_argmax(
+    values: Iterable[float], best_value: float
+) -> tuple[int | None, float]:
+    """Scan for the first value strictly above the running best.
+
+    This replicates the scalar baselines' ``value > best_value``
+    comparison loops exactly (including how exact ties resolve to the
+    earliest candidate), so batching the evaluations cannot change a
+    pick.
+    """
+    best_index: int | None = None
+    for i, value in enumerate(values):
+        if value > best_value:
+            best_index, best_value = i, float(value)
+    return best_index, best_value
+
+
+# ---------------------------------------------------------------------------
+# the one CELF implementation
+# ---------------------------------------------------------------------------
+def mcp_lazy_greedy(
+    universe: Sequence[Hashable],
+    oracle: GainOracle,
+    cost: Callable[[Hashable], float],
+    budget: float,
+    *,
+    allow_budget_violation_by_last: bool = False,
+    stop_on_negative_gain: bool = True,
+    batch_size: int | None = None,
+) -> GreedyResult:
+    """Greedy by marginal gain per cost under a knapsack budget.
+
+    The paper's MCP rule (Procedure 2) with CELF-style lazy
+    re-evaluation, shared by every selection phase in the repo.  Gains
+    are fetched from the oracle in blocks of ``batch_size`` (default:
+    the process-wide gain batch): the heap is primed blockwise, and
+    when a stale entry reaches the top the next stale entries below it
+    are prefetched in the same oracle call.  Prefetching never changes
+    the committed sequence — see the module docstring's bit-identity
+    contract.
+
+    Parameters
+    ----------
+    allow_budget_violation_by_last:
+        Lemma 3 analyses the greedy that stops *just after* violating
+        the budget; pass True to reproduce that variant (the returned
+        set may exceed the budget by its final element).
+    stop_on_negative_gain:
+        Stop when the best available marginal gain is not strictly
+        positive (case 2 of Lemma 3 covers the negative case; zero
+        gains are also skipped because they only burn budget).
+        Procedure 2's "while any affordable nominee remains" variant
+        passes False.
+    """
+    if budget <= 0:
+        raise AlgorithmError(f"budget must be positive, got {budget}")
+    if batch_size is None:
+        batch = get_default_gain_batch()
+    elif batch_size < 1:
+        raise AlgorithmError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    else:
+        batch = int(batch_size)
+    # Stale-entry prefetching may evaluate candidates the scalar loop
+    # never would; oracles whose evaluations are expensive and
+    # unvectorized cap it.  Heap priming below is exempt — every
+    # candidate needs its initial gain, so full blocks are free there.
+    limit = getattr(oracle, "prefetch_limit", None)
+    stale_batch = batch if limit is None else max(1, min(batch, limit))
+
+    elements = list(universe)
+    costs: list[float] = []
+    for element in elements:
+        element_cost = cost(element)
+        if element_cost <= 0:
+            raise AlgorithmError(f"cost of {element!r} must be positive")
+        costs.append(element_cost)
+
+    evaluations_before = oracle.n_evaluations
+    current_value = float(oracle.value)
+
+    # Heap entries: (-ratio, tie_breaker, element, evaluated_at_size).
+    heap: list[tuple[float, int, Hashable, int]] = []
+    for start in range(0, len(elements), batch):
+        block = elements[start : start + batch]
+        gains = oracle.gains(block)
+        for offset, gain in enumerate(gains):
+            order = start + offset
+            heapq.heappush(
+                heap, (-float(gain) / costs[order], order, block[offset], 0)
+            )
+
+    selected: list[Hashable] = []
+    spent = 0.0
+    # Prefetched gains, keyed by (tie_breaker, selection size); cleared
+    # on every commit because the selection they were measured against
+    # has changed.
+    prefetched: dict[tuple[int, int], float] = {}
+
+    while heap:
+        neg_ratio, order, element, evaluated_at = heapq.heappop(heap)
+        element_cost = costs[order]
+        over_budget = spent + element_cost > budget
+        if over_budget and not allow_budget_violation_by_last:
+            continue  # element no longer affordable; try others
+        if evaluated_at != len(selected):
+            key = (order, len(selected))
+            gain = prefetched.pop(key, None)
+            if gain is None:
+                # Prefetch: this entry plus the next stale entries in
+                # heap order share one oracle call.  Held entries are
+                # pushed back *unchanged* so the pop order the scalar
+                # loop would follow is preserved exactly.
+                batch_entries: list[tuple[int, Hashable]] = [(order, element)]
+                held: list[tuple[float, int, Hashable, int]] = []
+                while heap and len(batch_entries) < stale_batch:
+                    entry = heapq.heappop(heap)
+                    _, order2, element2, evaluated2 = entry
+                    if (
+                        spent + costs[order2] > budget
+                        and not allow_budget_violation_by_last
+                    ):
+                        continue  # drop now; spend only ever grows
+                    held.append(entry)
+                    if (
+                        evaluated2 == len(selected)
+                        or (order2, len(selected)) in prefetched
+                    ):
+                        break  # fresh (or already prefetched) — stop
+                    batch_entries.append((order2, element2))
+                gains = oracle.gains(
+                    [element2 for _, element2 in batch_entries]
+                )
+                for (order2, _), fresh_gain in zip(batch_entries, gains):
+                    prefetched[(order2, len(selected))] = float(fresh_gain)
+                for entry in held:
+                    heapq.heappush(heap, entry)
+                gain = prefetched.pop(key)
+            heapq.heappush(
+                heap, (-gain / element_cost, order, element, len(selected))
+            )
+            continue
+        gain = -neg_ratio * element_cost
+        if stop_on_negative_gain and gain <= 1e-12:
+            break
+        selected.append(element)
+        oracle.commit(element, gain)
+        current_value += gain
+        spent += element_cost
+        prefetched.clear()
+        if over_budget:
+            break  # the Lemma 3 variant stops right after violating
+
+    return GreedyResult(
+        selected=selected,
+        value=current_value,
+        total_cost=spent,
+        n_oracle_calls=1 + (oracle.n_evaluations - evaluations_before),
+    )

@@ -13,18 +13,24 @@ Section IV-C builds Dysim's approximation bound from three blocks:
 
 The toolkit is generic over a value oracle ``f(frozenset) -> float`` so
 it is unit-testable on synthetic submodular functions independently of
-the diffusion machinery.
+the diffusion machinery.  The CELF loop itself lives in
+:func:`repro.core.selection.mcp_lazy_greedy` — the single
+implementation every selection phase shares; this module adapts the
+value-oracle interface onto it via
+:class:`~repro.core.selection.FunctionGainOracle`.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import AlgorithmError
+from repro.core.selection import (
+    FunctionGainOracle,
+    GreedyResult,
+    mcp_lazy_greedy,
+)
 
 __all__ = [
     "GreedyResult",
@@ -36,29 +42,6 @@ __all__ = [
 ValueOracle = Callable[[frozenset], float]
 
 
-@dataclass
-class GreedyResult:
-    """Output of a greedy pass.
-
-    Attributes
-    ----------
-    selected:
-        Chosen elements in pick order.
-    value:
-        ``f(selected)``.
-    total_cost:
-        Sum of element costs.
-    n_oracle_calls:
-        Value-oracle invocations (the paper counts complexity in
-        function calls).
-    """
-
-    selected: list[Hashable]
-    value: float
-    total_cost: float
-    n_oracle_calls: int
-
-
 def budgeted_lazy_greedy(
     universe: Sequence[Hashable],
     oracle: ValueOracle,
@@ -66,13 +49,18 @@ def budgeted_lazy_greedy(
     budget: float,
     allow_budget_violation_by_last: bool = False,
     stop_on_negative_gain: bool = True,
+    batch_size: int | None = None,
 ) -> GreedyResult:
     """Greedy by marginal gain per cost under a knapsack budget.
 
     This is the paper's MCP rule (Procedure 2) with CELF-style lazy
     re-evaluation: stale upper bounds are popped from a heap and only
     re-evaluated when they reach the top, exploiting that marginal
-    gains of a submodular ``f`` only shrink.
+    gains of a submodular ``f`` only shrink.  The loop is
+    :func:`~repro.core.selection.mcp_lazy_greedy` driven by a
+    :class:`~repro.core.selection.FunctionGainOracle`; selections,
+    values and call counts match the historical scalar implementation
+    exactly.
 
     Parameters
     ----------
@@ -84,59 +72,17 @@ def budgeted_lazy_greedy(
         Stop when the best available marginal gain is not strictly
         positive (case 2 of Lemma 3 covers the negative case; zero
         gains are also skipped because they only burn budget).
+    batch_size:
+        Candidates per gain-oracle block (None = process default).
     """
-    if budget <= 0:
-        raise AlgorithmError(f"budget must be positive, got {budget}")
-    n_calls = 0
-
-    def evaluate(selection: frozenset) -> float:
-        nonlocal n_calls
-        n_calls += 1
-        return oracle(selection)
-
-    selected: list[Hashable] = []
-    selected_set: frozenset = frozenset()
-    current_value = evaluate(selected_set)
-    spent = 0.0
-
-    # Heap entries: (-ratio, tie_breaker, element, evaluated_at_size).
-    heap: list[tuple[float, int, Hashable, int]] = []
-    for order, element in enumerate(universe):
-        element_cost = cost(element)
-        if element_cost <= 0:
-            raise AlgorithmError(f"cost of {element!r} must be positive")
-        gain = evaluate(frozenset([element])) - current_value
-        heapq.heappush(heap, (-gain / element_cost, order, element, 0))
-
-    while heap:
-        neg_ratio, order, element, evaluated_at = heapq.heappop(heap)
-        element_cost = cost(element)
-        over_budget = spent + element_cost > budget
-        if over_budget and not allow_budget_violation_by_last:
-            continue  # element no longer affordable; try others
-        if evaluated_at != len(selected):
-            gain = (
-                evaluate(selected_set | {element}) - current_value
-            )
-            heapq.heappush(
-                heap, (-gain / element_cost, order, element, len(selected))
-            )
-            continue
-        gain = -neg_ratio * element_cost
-        if stop_on_negative_gain and gain <= 1e-12:
-            break
-        selected.append(element)
-        selected_set = selected_set | {element}
-        current_value += gain
-        spent += element_cost
-        if over_budget:
-            break  # the Lemma 3 variant stops right after violating
-
-    return GreedyResult(
-        selected=selected,
-        value=current_value,
-        total_cost=spent,
-        n_oracle_calls=n_calls,
+    return mcp_lazy_greedy(
+        universe,
+        FunctionGainOracle(oracle),
+        cost,
+        budget,
+        allow_budget_violation_by_last=allow_budget_violation_by_last,
+        stop_on_negative_gain=stop_on_negative_gain,
+        batch_size=batch_size,
     )
 
 

@@ -23,7 +23,8 @@ The same pass optionally collects everything the Dysim phases need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -31,10 +32,88 @@ from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.models import DiffusionModel, adoption_likelihood
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.cache import SigmaCache
-from repro.engine.replication import ReplicationTask
+from repro.engine.replication import (
+    DEFAULT_CHUNK_SIZE,
+    ReplicationTask,
+    chunk_indices,
+    run_chunk,
+)
 from repro.utils.rng import RngFactory
 
-__all__ = ["MonteCarloEstimate", "SigmaEstimator", "adoption_likelihood"]
+__all__ = [
+    "MonteCarloEstimate",
+    "SigmaBatchTask",
+    "SigmaEstimator",
+    "adoption_likelihood",
+    "evaluate_sigma_chunk",
+    "replicated_sigma_stats",
+]
+
+
+@dataclass
+class SigmaBatchTask:
+    """One block of seed-group sigma evaluations (picklable).
+
+    Workers replay the estimator's exact replication recipe — sample
+    ``i`` of every group draws ``spawn_rng(rng_seed, *rng_context, i)``
+    — so results are bit-identical to :meth:`SigmaEstimator.estimate`
+    no matter where they run.
+    """
+
+    base: ReplicationTask
+    groups: list[SeedGroup]
+    n_samples: int
+
+
+def evaluate_sigma_chunk(
+    task: SigmaBatchTask, indices: Sequence[int]
+) -> list[tuple[float, float]]:
+    """(mean, std) sigma stats per group index (module-level: picklable)."""
+    out: list[tuple[float, float]] = []
+    for i in indices:
+        rep = replace(task.base, seed_group=task.groups[i])
+        result = run_chunk(rep, list(range(task.n_samples)))
+        out.append(
+            (float(result.sigmas.mean()), float(result.sigmas.std()))
+        )
+    return out
+
+
+def replicated_sigma_stats(
+    backend,
+    base_task: ReplicationTask,
+    groups: Sequence[SeedGroup],
+    n_samples: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[tuple[float, float]]:
+    """Fan sigma evaluations of many groups over an execution backend.
+
+    Chunks partition the *candidate* axis (each candidate already runs
+    its full ``n_samples`` replications in one worker); results come
+    back in group order and are bit-identical across backends.  Blocks
+    too small to fill more than one candidate chunk fan out over the
+    *sample* axis instead (per-group ``backend.run``), so a one-group
+    evaluation on a process pool keeps the replication-level
+    parallelism it always had.
+    """
+    if not groups:
+        return []
+    if len(groups) <= chunk_size:
+        stats: list[tuple[float, float]] = []
+        for group in groups:
+            result = backend.run(
+                replace(base_task, seed_group=group), int(n_samples)
+            )
+            stats.append(
+                (float(result.sigmas.mean()), float(result.sigmas.std()))
+            )
+        return stats
+    task = SigmaBatchTask(
+        base=base_task, groups=list(groups), n_samples=int(n_samples)
+    )
+    chunks = chunk_indices(len(groups), chunk_size)
+    parts = backend.map_chunks(evaluate_sigma_chunk, task, chunks)
+    return [stat for part in parts for stat in part]
 
 
 @dataclass
@@ -209,6 +288,81 @@ class SigmaEstimator:
     def sigma(self, seed_group: SeedGroup) -> float:
         """Convenience: the scalar spread estimate."""
         return self.estimate(seed_group).sigma
+
+    def estimate_block(
+        self,
+        groups: Sequence[SeedGroup],
+        until_promotion: int | None = None,
+    ) -> np.ndarray:
+        """Batched plain-sigma estimates over many seed groups.
+
+        Cache behaviour, counters and floats match per-group
+        :meth:`estimate` calls exactly — same keys, same ``("mc",)``
+        substreams — but the cache misses fan out together over the
+        execution backend, chunked across the *candidate* axis, so a
+        process pool parallelizes across candidates instead of only
+        across one candidate's replications.  The batched selection
+        layer (:func:`repro.core.selection.sigma_block`) routes every
+        greedy's gain evaluations through here.
+
+        Subclasses whose :meth:`estimate` does not run this module's
+        Monte-Carlo recipe (the sketch oracle) are answered by
+        per-group ``estimate`` calls — still one API for consumers.
+        """
+        sigmas = np.empty(len(groups))
+        if not (
+            type(self) is SigmaEstimator and self.oracle_kind == "mc"
+        ):
+            for i, group in enumerate(groups):
+                sigmas[i] = self.estimate(
+                    group, until_promotion=until_promotion
+                ).sigma
+            return sigmas
+
+        flags = (False, False, False)
+        # Misses dedupe by cache key, mirroring sequential estimate()
+        # calls where a repeated group is a hit on its second lookup.
+        miss_order: list[tuple] = []
+        miss_groups: dict[tuple, SeedGroup] = {}
+        key_of: list[tuple | None] = [None] * len(groups)
+        for i, group in enumerate(groups):
+            key = self._cache_key(group, until_promotion, (), flags)
+            cached = self.cache.get(key)
+            if cached is not None:
+                sigmas[i] = cached.sigma
+            elif key in miss_groups:
+                key_of[i] = key
+            else:
+                key_of[i] = key
+                miss_order.append(key)
+                miss_groups[key] = group
+        if miss_order:
+            base = ReplicationTask(
+                instance=self.instance,
+                model=self.model,
+                rng_seed=self.rng_factory.seed,
+                rng_context=("mc",),
+                seed_group=miss_groups[miss_order[0]],
+                until_promotion=until_promotion,
+            )
+            stats = replicated_sigma_stats(
+                self.backend,
+                base,
+                [miss_groups[key] for key in miss_order],
+                self.n_samples,
+            )
+            resolved: dict[tuple, float] = {}
+            for key, (mean, std) in zip(miss_order, stats):
+                estimate = MonteCarloEstimate(
+                    sigma=mean, sigma_std=std, n_samples=self.n_samples
+                )
+                self.cache.put(key, estimate)
+                self.n_evaluations += self.n_samples
+                resolved[key] = mean
+            for i, key in enumerate(key_of):
+                if key is not None:
+                    sigmas[i] = resolved[key]
+        return sigmas
 
     def clear_cache(self) -> None:
         """Drop memoized estimates (after the instance state changed).

@@ -5,6 +5,11 @@ influence of their seed groups; for fairness every algorithm's output
 is re-evaluated here with one shared Monte-Carlo estimator (common
 random numbers, paper-style M samples) regardless of what each
 algorithm used internally.
+
+Every registered algorithm selects through the unified gain-oracle
+layer (:mod:`repro.core.selection`): pass selection knobs such as
+``gain_batch`` or ``singleton_pool`` to :func:`run_dysim` via keyword
+overrides — batching is a prefetch, so results are invariant to it.
 """
 
 from __future__ import annotations
@@ -74,6 +79,11 @@ def run_dysim(
             "oracle": result.oracle,
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
+            # Stacked-reach LRU counters of the sketch oracle's bank
+            # (all zero under the mc oracle, which builds no bank).
+            "bank_reach_hits": result.bank_reach_hits,
+            "bank_reach_misses": result.bank_reach_misses,
+            "bank_reach_evictions": result.bank_reach_evictions,
         },
     )
 

@@ -22,7 +22,9 @@ the same worlds.  This package provides:
 
 from repro.sketch.bank import (
     DEFAULT_EXTRA_ADOPTION_FLOOR,
+    DEFAULT_REACH_BUDGET_BYTES,
     ProbabilitySkeleton,
+    ReachCacheStats,
     ReachabilitySketch,
     RealizationBank,
     SketchBuildTask,
@@ -35,9 +37,11 @@ from repro.sketch.oracle import ORACLE_NAMES, make_sigma_estimator
 
 __all__ = [
     "DEFAULT_EXTRA_ADOPTION_FLOOR",
+    "DEFAULT_REACH_BUDGET_BYTES",
     "ORACLE_NAMES",
     "CoverageEvaluator",
     "ProbabilitySkeleton",
+    "ReachCacheStats",
     "ReachabilitySketch",
     "RealizationBank",
     "SketchBuildTask",

@@ -37,19 +37,23 @@ call per world draws every coin against that order.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.problem import IMDPPInstance, SeedGroup
+from repro.core.selection import PairLayout
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.replication import DEFAULT_CHUNK_SIZE, chunk_indices
 from repro.errors import SketchError
 from repro.utils.rng import spawn_rng
 
 __all__ = [
+    "DEFAULT_REACH_BUDGET_BYTES",
     "ProbabilitySkeleton",
+    "ReachCacheStats",
     "SketchBuildTask",
     "ReachabilitySketch",
     "RealizationBank",
@@ -57,10 +61,29 @@ __all__ = [
     "build_worlds_chunk",
 ]
 
+#: Default byte budget for the bank's stacked-reach LRU.  Packed words
+#: make the budget meaningful: one cached candidate costs
+#: ``n_worlds * n_words * 8`` bytes (an 8x cut vs. the boolean masks
+#: the bank used to hold), so the default comfortably fits every
+#: benchmark instance while bounding long-lived services.
+DEFAULT_REACH_BUDGET_BYTES = 256 * 1024 * 1024
+
 #: Association probabilities at or below this are never realized —
 #: mirrors ``CampaignSimulator.extra_adoption_floor`` so the sketched
 #: and simulated diffusions share one event space.
 DEFAULT_EXTRA_ADOPTION_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class ReachCacheStats:
+    """Counters of the bank's stacked-reach LRU (see
+    :meth:`RealizationBank.stacked_reach_packed`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    bytes_in_use: int
+    budget_bytes: int | None
 
 
 @dataclass
@@ -220,10 +243,25 @@ def build_worlds_chunk(
 
 class ReachabilitySketch:
     """One realized world: live-edge CSR adjacency over (user, item)
-    pairs plus memoized per-source forward-reachability masks."""
+    pairs plus memoized per-source forward-reachability masks.
 
-    def __init__(self, n_pairs: int, src: np.ndarray, dst: np.ndarray):
+    Reachability is memoized in the **packed word layout** of
+    :class:`~repro.core.selection.PairLayout` — one bit per pair
+    instead of one byte — which is what keeps bank memory from growing
+    unboundedly during selection (the memo is further deduplicated
+    against the bank's stacked LRU, see
+    :meth:`RealizationBank.stacked_reach_packed`).
+    """
+
+    def __init__(
+        self,
+        n_pairs: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        layout: PairLayout,
+    ):
         self.n_pairs = int(n_pairs)
+        self.layout = layout
         order = np.argsort(src, kind="stable")
         self._indices = np.asarray(dst)[order]
         counts = np.bincount(
@@ -231,14 +269,14 @@ class ReachabilitySketch:
         )
         self._indptr = np.zeros(self.n_pairs + 1, dtype=np.int64)
         np.cumsum(counts, out=self._indptr[1:])
-        self._reach: dict[int, np.ndarray] = {}
+        self._reach: dict[int, np.ndarray] = {}  # pair -> packed words
 
     @property
     def n_live_edges(self) -> int:
         return int(self._indices.size)
 
-    def reach_mask(self, pair: int) -> np.ndarray:
-        """Boolean mask of pairs reachable from ``pair`` (memoized).
+    def reach_packed(self, pair: int) -> np.ndarray:
+        """Packed words of the pairs reachable from ``pair`` (memoized).
 
         The returned array is shared — treat it as read-only.
         """
@@ -255,15 +293,21 @@ class ReachabilitySketch:
                 if not visited[neighbor]:
                     visited[neighbor] = True
                     stack.append(int(neighbor))
-        self._reach[pair] = visited
-        return visited
+        packed = self.layout.pack(visited)
+        self._reach[pair] = packed
+        return packed
+
+    def reach_mask(self, pair: int) -> np.ndarray:
+        """Boolean mask of pairs reachable from ``pair`` (a fresh
+        array, unpacked from the memoized words)."""
+        return self.layout.unpack(self.reach_packed(pair))
 
     def group_mask(self, pairs: Iterable[int]) -> np.ndarray:
         """Union of the sources' reachability masks (a fresh array)."""
-        mask = np.zeros(self.n_pairs, dtype=bool)
+        union = np.zeros(self.layout.n_words, dtype=np.uint64)
         for pair in pairs:
-            mask |= self.reach_mask(pair)
-        return mask
+            union |= self.reach_packed(pair)
+        return self.layout.unpack(union)
 
 
 class RealizationBank:
@@ -288,6 +332,10 @@ class RealizationBank:
         :class:`~repro.engine.backends.ExecutionBackend` (or name)
         — coin flipping fans out over the canonical world chunks and
         reassembles in order, so banks are backend-independent.
+    reach_budget_bytes:
+        Byte budget of the stacked-reach LRU (None = unbounded).
+        Eviction only trades recomputation for memory — query results
+        are unaffected.
     """
 
     def __init__(
@@ -300,6 +348,7 @@ class RealizationBank:
         backend: ExecutionBackend | str | None = None,
         workers: int | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
     ):
         if n_worlds < 1:
             raise ValueError(f"n_worlds must be >= 1, got {n_worlds}")
@@ -308,6 +357,13 @@ class RealizationBank:
         self.rng_seed = int(rng_seed)
         self.rng_context = tuple(rng_context)
         self.skeleton = build_skeleton(instance, extra_adoption_floor)
+        #: Packed-word layout shared by every world's reachability memo
+        #: and the coverage gain kernel.
+        self.layout = PairLayout(
+            instance.n_users,
+            instance.n_items,
+            np.asarray(instance.importance, dtype=float),
+        )
         resolved = resolve_backend(backend, workers)
         task = SketchBuildTask(
             prob=self.skeleton.prob,
@@ -331,6 +387,7 @@ class RealizationBank:
                     self.skeleton.n_pairs,
                     self.skeleton.src[live],
                     self.skeleton.dst[live],
+                    self.layout,
                 )
             )
         #: Importance of the item behind each pair index — the weight
@@ -338,7 +395,12 @@ class RealizationBank:
         self.pair_importance = np.tile(
             np.asarray(instance.importance, dtype=float), instance.n_users
         )
-        self._stacked: dict[int, np.ndarray] = {}
+        self.reach_budget_bytes = reach_budget_bytes
+        self._stacked_packed: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._stacked_bytes = 0
+        self.reach_hits = 0
+        self.reach_misses = 0
+        self.reach_evictions = 0
 
     # ------------------------------------------------------------------
     def pair_index(self, user: int, item: int) -> int:
@@ -385,7 +447,12 @@ class RealizationBank:
         pairs: Sequence[int],
         restrict_users: Iterable[int] | None = None,
     ) -> tuple[np.ndarray, np.ndarray | None]:
-        """Per-world spreads (and restricted spreads) of a nominee set."""
+        """Per-world spreads (and restricted spreads) of a nominee set.
+
+        Reachability goes through :meth:`stacked_reach_packed`, so the
+        sigma path shares the byte-budget LRU with selection — query
+        workloads cannot grow the bank's memoization without bound.
+        """
         spreads = np.zeros(self.n_worlds)
         restricted = (
             np.zeros(self.n_worlds) if restrict_users is not None else None
@@ -397,8 +464,12 @@ class RealizationBank:
                 if restrict_users is not None
                 else None
             )
-            for i, world in enumerate(self.worlds):
-                mask = world.group_mask(pairs)
+            stacks = [self.stacked_reach_packed(pair) for pair in pairs]
+            for i in range(self.n_worlds):
+                union = stacks[0][i].copy()
+                for stack in stacks[1:]:
+                    union |= stack[i]
+                mask = self.layout.unpack(union)
                 spreads[i] = float(weights[mask].sum())
                 if restricted is not None:
                     restricted[i] = float(restricted_weights[mask].sum())
@@ -408,24 +479,67 @@ class RealizationBank:
         """Mean importance-weighted spread of a nominee set."""
         return float(self.spread_stats(pairs)[0].mean())
 
-    def stacked_reach(self, pair: int) -> np.ndarray:
-        """(n_worlds, n_pairs) reachability stack of one source pair.
+    def stacked_reach_packed(self, pair: int) -> np.ndarray:
+        """(n_worlds, n_words) packed reachability stack of one pair.
 
-        Cached — the coverage greedy evaluates the same candidates
-        against an evolving covered set many times.  Read-only.
+        Memoized in a byte-budget LRU — the coverage greedy evaluates
+        the same candidates against an evolving covered set many
+        times, but the memo must not grow without bound during
+        selection.  Eviction drops the stack *and* the per-world rows
+        deduplicated into it; a later query recomputes the identical
+        masks.  Read-only.
         """
-        cached = self._stacked.get(pair)
-        if cached is None:
-            cached = np.stack(
-                [world.reach_mask(pair) for world in self.worlds]
-            )
-            self._stacked[pair] = cached
-            # Deduplicate: point each world's memoized mask at its row
-            # of the stack, so the bank holds one copy per candidate
-            # instead of stack + per-world masks.
-            for world, row in zip(self.worlds, cached):
-                world._reach[pair] = row
-        return cached
+        cached = self._stacked_packed.get(pair)
+        if cached is not None:
+            self.reach_hits += 1
+            self._stacked_packed.move_to_end(pair)
+            return cached
+        self.reach_misses += 1
+        stacked = np.stack(
+            [world.reach_packed(pair) for world in self.worlds]
+        )
+        self._stacked_packed[pair] = stacked
+        self._stacked_bytes += stacked.nbytes
+        # Deduplicate: point each world's memoized mask at its row of
+        # the stack, so the bank holds one copy per candidate instead
+        # of stack + per-world masks.
+        for world, row in zip(self.worlds, stacked):
+            world._reach[pair] = row
+        if self.reach_budget_bytes is not None:
+            # Never evict the entry just inserted (len > 1): a budget
+            # smaller than one stack would otherwise thrash — insert,
+            # self-evict, re-BFS — on every single query.
+            while (
+                self._stacked_bytes > self.reach_budget_bytes
+                and len(self._stacked_packed) > 1
+            ):
+                evicted_pair, evicted = self._stacked_packed.popitem(
+                    last=False
+                )
+                self._stacked_bytes -= evicted.nbytes
+                self.reach_evictions += 1
+                for world in self.worlds:
+                    world._reach.pop(evicted_pair, None)
+        return stacked
+
+    def stacked_reach(self, pair: int) -> np.ndarray:
+        """(n_worlds, n_pairs) boolean reachability stack (compat).
+
+        Unpacked fresh from :meth:`stacked_reach_packed` on every call
+        — the boolean form is the scalar reference path; the packed
+        form is what selection runs on.
+        """
+        return self.layout.unpack(self.stacked_reach_packed(pair))
+
+    def reach_stats(self) -> "ReachCacheStats":
+        """Point-in-time counters of the stacked-reach LRU."""
+        return ReachCacheStats(
+            hits=self.reach_hits,
+            misses=self.reach_misses,
+            evictions=self.reach_evictions,
+            bytes_in_use=self._stacked_bytes,
+            budget_bytes=self.reach_budget_bytes,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

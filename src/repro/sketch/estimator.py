@@ -29,7 +29,9 @@ from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import SigmaCache
 from repro.sketch.bank import (
     DEFAULT_EXTRA_ADOPTION_FLOOR,
+    DEFAULT_REACH_BUDGET_BYTES,
     RealizationBank,
+    ReachCacheStats,
 )
 from repro.utils.rng import RngFactory
 
@@ -59,6 +61,7 @@ class SketchSigmaEstimator(SigmaEstimator):
         workers: int | None = None,
         cache: SigmaCache | None = None,
         extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
+        reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
     ):
         super().__init__(
             instance,
@@ -70,6 +73,7 @@ class SketchSigmaEstimator(SigmaEstimator):
             cache=cache,
         )
         self.extra_adoption_floor = float(extra_adoption_floor)
+        self.reach_budget_bytes = reach_budget_bytes
         self._bank: RealizationBank | None = None
         # Unsupported queries delegate here; sharing the cache is safe
         # because cache keys embed each estimator's oracle_kind, and
@@ -108,8 +112,21 @@ class SketchSigmaEstimator(SigmaEstimator):
                 rng_context=("sketch",),
                 extra_adoption_floor=self.extra_adoption_floor,
                 backend=self.backend,
+                reach_budget_bytes=self.reach_budget_bytes,
             )
         return self._bank
+
+    @property
+    def bank_reach_stats(self) -> "ReachCacheStats | None":
+        """Stacked-reach LRU counters, or None before the bank exists.
+
+        Deliberately does *not* trigger bank construction — callers
+        surface these next to the :class:`~repro.engine.cache.
+        SigmaCache` stats after a run (``DysimResult``).
+        """
+        if self._bank is None:
+            return None
+        return self._bank.reach_stats()
 
     # ------------------------------------------------------------------
     def estimate(
@@ -189,13 +206,16 @@ class SketchSigmaEstimator(SigmaEstimator):
         universe,
         cost,
         budget: float,
+        gain_batch: int | None = None,
     ) -> GreedyResult:
         """CELF coverage greedy over (user, item) candidates.
 
         The fast path behind nominee selection: marginal gains are
-        evaluated incrementally against per-world covered bitmasks
-        (see :mod:`repro.sketch.greedy`) instead of re-unioning the
-        selection per oracle call.  Requires :attr:`supports_sketch`.
+        batched packed-bitset lookups against per-world covered masks
+        (see :mod:`repro.sketch.greedy` and
+        :class:`~repro.core.selection.CoverageGainOracle`) instead of
+        re-unioning the selection per oracle call.  Requires
+        :attr:`supports_sketch`.
         """
         from repro.sketch.greedy import budgeted_coverage_greedy
 
@@ -204,7 +224,9 @@ class SketchSigmaEstimator(SigmaEstimator):
                 "select_budgeted needs a sketchable configuration "
                 "(frozen dynamics, IC model)"
             )
-        result = budgeted_coverage_greedy(self.bank, universe, cost, budget)
+        result = budgeted_coverage_greedy(
+            self.bank, universe, cost, budget, batch_size=gain_batch
+        )
         self.sketch_queries += result.n_oracle_calls
         self._sketch_evaluations += result.n_oracle_calls * self.n_samples
         self._sync_evaluations()

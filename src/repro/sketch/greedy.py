@@ -1,4 +1,4 @@
-"""CELF-style lazy greedy over realization-bank coverage.
+"""Coverage greedy over a realization bank, on the unified engine.
 
 In a realization bank the frozen spread is an exact coverage function:
 the marginal gain of a nominee is the importance mass its reachability
@@ -7,34 +7,42 @@ Gains are noise-free and provably non-increasing (submodularity of
 coverage), so the CELF lazy heap is exact here — no fallback
 re-comparisons, no Monte-Carlo variance.
 
-:func:`budgeted_coverage_greedy` mirrors the semantics of
-:func:`repro.core.submodular.budgeted_lazy_greedy` with
-``stop_on_negative_gain=False`` (the MCP rule of Procedure 2: keep
-extracting while any affordable nominee remains) but evaluates every
-gain incrementally against a per-world covered bitmask instead of
-re-unioning the selection per oracle call.
+:func:`budgeted_coverage_greedy` is
+:func:`repro.core.selection.mcp_lazy_greedy` driven by a
+:class:`~repro.core.selection.CoverageGainOracle` — the packed-word
+batched kernel.  :class:`CoverageEvaluator` is kept as the **boolean
+scalar reference**: it evaluates one candidate at a time against a
+boolean covered mask, reducing through the same per-item-count
+contraction (:meth:`~repro.core.selection.PairLayout.weighted_sum`),
+so the property suite can assert the packed batched gains are
+bit-identical to it.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.submodular import GreedyResult
-from repro.errors import AlgorithmError
+from repro.core.selection import (
+    CoverageGainOracle,
+    GreedyResult,
+    mcp_lazy_greedy,
+)
 from repro.sketch.bank import RealizationBank
 
 __all__ = ["CoverageEvaluator", "budgeted_coverage_greedy"]
 
 
 class CoverageEvaluator:
-    """Incremental marginal-gain evaluator over a realization bank.
+    """Scalar boolean reference for marginal coverage gains.
 
     Maintains the (n_worlds, n_pairs) covered bitmask of the current
-    selection; ``gain`` answers one candidate in a single vectorized
-    mask-and-dot, ``add`` commits a candidate by OR-ing its stack in.
+    selection; ``gain`` answers one candidate via a boolean
+    mask-and-count, ``add`` commits a candidate by OR-ing its stack
+    in.  Reachability stacks are memoized locally in boolean form —
+    this is deliberately the pre-packing implementation, the ground
+    truth the packed kernel is verified against bit for bit.
     """
 
     def __init__(self, bank: RealizationBank):
@@ -44,18 +52,31 @@ class CoverageEvaluator:
         )
         self.value = 0.0
         self.n_gain_evaluations = 0
+        self._stacked: dict[int, np.ndarray] = {}
+
+    def _stacked_bool(self, pair: int) -> np.ndarray:
+        cached = self._stacked.get(pair)
+        if cached is None:
+            cached = self.bank.stacked_reach(pair)
+            self._stacked[pair] = cached
+        return cached
+
+    def _weighted_mean(self, fresh: np.ndarray) -> float:
+        layout = self.bank.layout
+        weighted = layout.weighted_sum(layout.item_counts_bool(fresh))
+        return float(weighted.mean())
 
     def gain(self, pair: int) -> float:
         """Mean importance mass ``pair`` adds beyond the covered set."""
         self.n_gain_evaluations += 1
-        fresh = self.bank.stacked_reach(pair) & ~self.covered
-        return float((fresh @ self.bank.pair_importance).mean())
+        fresh = self._stacked_bool(pair) & ~self.covered
+        return self._weighted_mean(fresh)
 
     def add(self, pair: int) -> float:
         """Commit ``pair``; returns its (exact) marginal gain."""
-        reach = self.bank.stacked_reach(pair)
+        reach = self._stacked_bool(pair)
         fresh = reach & ~self.covered
-        gained = float((fresh @ self.bank.pair_importance).mean())
+        gained = self._weighted_mean(fresh)
         self.covered |= reach
         self.value += gained
         return gained
@@ -66,6 +87,7 @@ def budgeted_coverage_greedy(
     universe: Sequence[tuple[int, int]],
     cost: Callable[[tuple[int, int]], float],
     budget: float,
+    batch_size: int | None = None,
 ) -> GreedyResult:
     """MCP lazy greedy over (user, item) candidates, coverage gains.
 
@@ -74,46 +96,18 @@ def budgeted_coverage_greedy(
     candidates are ranked by marginal gain per cost on a lazy heap,
     stale bounds are re-evaluated only at the top, unaffordable
     elements are skipped, and selection only ends when no affordable
-    candidate remains.  ``n_oracle_calls`` counts gain evaluations the
-    way the generic greedy counts value-oracle calls (one initial empty
-    evaluation included) so CELF pruning is comparable across oracles.
+    candidate remains.  Gains are evaluated in packed batches by
+    :class:`~repro.core.selection.CoverageGainOracle`;
+    ``n_oracle_calls`` counts gain evaluations the way the generic
+    greedy counts value-oracle calls (one initial empty evaluation
+    included) so CELF pruning is comparable across oracles.
     """
-    if budget <= 0:
-        raise AlgorithmError(f"budget must be positive, got {budget}")
-    evaluator = CoverageEvaluator(bank)
-    n_calls = 1  # the generic greedy's f(emptyset) evaluation
-
-    # Heap entries: (-ratio, tie_breaker, element, evaluated_at_size).
-    heap: list[tuple[float, int, tuple[int, int], int]] = []
-    for order, element in enumerate(universe):
-        element_cost = cost(element)
-        if element_cost <= 0:
-            raise AlgorithmError(f"cost of {element!r} must be positive")
-        gain = evaluator.gain(bank.pair_index(*element))
-        n_calls += 1
-        heapq.heappush(heap, (-gain / element_cost, order, element, 0))
-
-    selected: list[tuple[int, int]] = []
-    spent = 0.0
-    while heap:
-        neg_ratio, order, element, evaluated_at = heapq.heappop(heap)
-        element_cost = cost(element)
-        if spent + element_cost > budget:
-            continue  # no longer affordable; try others
-        if evaluated_at != len(selected):
-            gain = evaluator.gain(bank.pair_index(*element))
-            n_calls += 1
-            heapq.heappush(
-                heap, (-gain / element_cost, order, element, len(selected))
-            )
-            continue
-        selected.append(element)
-        evaluator.add(bank.pair_index(*element))
-        spent += element_cost
-
-    return GreedyResult(
-        selected=selected,
-        value=evaluator.value,
-        total_cost=spent,
-        n_oracle_calls=n_calls,
+    oracle = CoverageGainOracle(bank)
+    return mcp_lazy_greedy(
+        universe,
+        oracle,
+        cost,
+        budget,
+        stop_on_negative_gain=False,
+        batch_size=batch_size,
     )

@@ -151,8 +151,39 @@ class TestQueries:
 
     def test_stacked_reach_cached_and_consistent(self, bank):
         pair = bank.pair_index(5, 3)
+        packed = bank.stacked_reach_packed(pair)
+        # the packed stack is the memoized object; the boolean view is
+        # unpacked fresh per call
+        assert packed is bank.stacked_reach_packed(pair)
+        assert packed.shape == (bank.n_worlds, bank.layout.n_words)
         stacked = bank.stacked_reach(pair)
-        assert stacked is bank.stacked_reach(pair)
         assert stacked.shape == (bank.n_worlds, bank.skeleton.n_pairs)
+        assert np.array_equal(stacked, bank.stacked_reach(pair))
         for world, row in zip(bank.worlds, stacked):
             assert np.array_equal(world.reach_mask(pair), row)
+
+    def test_reach_lru_counts_hits_and_evictions(self, frozen):
+        unbounded = RealizationBank(frozen, n_worlds=4, rng_seed=9)
+        one_stack_bytes = unbounded.stacked_reach_packed(0).nbytes
+        # budget for exactly one cached stack: the second pair evicts
+        # the first, and re-querying the first is a miss again
+        bank = RealizationBank(
+            frozen,
+            n_worlds=4,
+            rng_seed=9,
+            reach_budget_bytes=one_stack_bytes,
+        )
+        first = bank.stacked_reach_packed(0).copy()
+        bank.stacked_reach_packed(0)
+        assert bank.reach_stats().hits == 1
+        bank.stacked_reach_packed(1)
+        assert bank.reach_stats().evictions == 1
+        # eviction trades recomputation for memory, never results
+        assert np.array_equal(bank.stacked_reach_packed(0), first)
+        stats = bank.reach_stats()
+        assert stats.misses == 3
+        assert stats.bytes_in_use <= one_stack_bytes
+        # bounded and unbounded banks answer queries identically
+        assert np.array_equal(
+            unbounded.stacked_reach_packed(1), bank.stacked_reach_packed(1)
+        )
