@@ -24,6 +24,13 @@ its gain oracle per call (the unified selection layer,
 ``repro.core.selection``).  Batching is a prefetch: it trades oracle
 vectorization / backend fan-out against a few wasted evaluations and
 can never change which seeds are selected.
+
+``--reach-kernel`` selects how the sketch oracle's realization bank
+computes reachability stacks: ``packed`` (default) answers all sampled
+worlds in one bit-parallel multi-world BFS; ``per-world`` runs the
+original one-BFS-per-world loop, retained as the bit-identity
+reference.  Stacks, selections and sigma values are identical either
+way — only wall-clock differs.
 """
 
 from __future__ import annotations
@@ -35,7 +42,11 @@ from repro.core.selection import set_default_gain_batch
 from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
 from repro.engine import BACKEND_NAMES, set_default_backend
 from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
-from repro.sketch import ORACLE_NAMES
+from repro.sketch import (
+    ORACLE_NAMES,
+    REACH_KERNEL_NAMES,
+    set_default_reach_kernel,
+)
 from repro.eval.metrics import campaign_report
 from repro.eval.reporting import format_table
 
@@ -109,6 +120,16 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "round per call); prefetch only — selections are invariant "
         "to it; default 32",
     )
+    parser.add_argument(
+        "--reach-kernel",
+        default=None,
+        choices=sorted(REACH_KERNEL_NAMES),
+        help="reachability kernel of the sketch oracle's realization "
+        "bank: 'packed' computes all sampled worlds in one "
+        "bit-parallel multi-world BFS (default), 'per-world' runs "
+        "one BFS per world (the bit-identity reference); stacks and "
+        "sigma values are identical either way",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -150,6 +171,8 @@ def _command_run(args) -> int:
     set_default_backend(args.backend, args.workers)
     if args.gain_batch is not None:
         set_default_gain_batch(args.gain_batch)
+    if args.reach_kernel is not None:
+        set_default_reach_kernel(args.reach_kernel)
     result = run_algorithm(
         args.algorithm,
         instance,
@@ -172,6 +195,8 @@ def _command_compare(args) -> int:
     set_default_backend(args.backend, args.workers)
     if args.gain_batch is not None:
         set_default_gain_batch(args.gain_batch)
+    if args.reach_kernel is not None:
+        set_default_reach_kernel(args.reach_kernel)
     names = [n for n in ALGORITHMS if n not in set(args.skip)]
     rows = []
     for name in names:

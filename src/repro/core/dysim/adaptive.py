@@ -9,6 +9,14 @@ substitutable item into an overlapping market (antagonism), and TDSI
 only compares timings ``t`` and ``t + 1`` — once the best candidate
 prefers ``t + 1``, planning for round ``t`` stops and the remaining
 nominees wait.  The final round spends whatever budget remains.
+
+Adaptive planning is *dynamics-aware*: every candidate evaluation
+replays the observed perception state forward, which only Monte-Carlo
+simulation can do.  ``DysimConfig.oracle`` / ``reach_kernel`` (the
+frozen-phase sketch knobs, including the packed multi-world
+reachability kernel) therefore do not apply here — reseeding rounds
+batch their Monte-Carlo candidate blocks over the execution backend
+via :func:`~repro.core.selection.replicated_sigma_stats` instead.
 """
 
 from __future__ import annotations

@@ -95,6 +95,14 @@ class DysimConfig:
         numbers across queries).  The dynamic DR / SI evaluations
         always use Monte-Carlo, which is the only oracle that can
         observe evolving perceptions.
+    reach_kernel:
+        Reachability kernel of the sketch oracle's realization bank:
+        ``"packed"`` (bit-parallel multi-world BFS, the default) or
+        ``"per-world"`` (one BFS per realized world — the
+        bit-identity reference).  ``None`` resolves the process-wide
+        default (CLI ``--reach-kernel``).  Stacks and sigma values are
+        bit-identical across kernels, so this is a pure perf knob;
+        ignored under the mc oracle.
     seed:
         Root of every random substream Dysim uses.
     backend:
@@ -122,6 +130,7 @@ class DysimConfig:
     use_fallbacks: bool = True
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE
     oracle: str = "mc"
+    reach_kernel: str | None = None
     seed: int = 0
     backend: object | str | None = None
     workers: int | None = None
@@ -148,6 +157,9 @@ class DysimResult:
     bank_reach_hits: int = 0
     bank_reach_misses: int = 0
     bank_reach_evictions: int = 0
+    #: Which reachability kernel filled the bank's stack misses
+    #: (``""`` when no bank was built).
+    bank_reach_kernel: str = ""
 
 
 class Dysim:
@@ -185,6 +197,7 @@ class Dysim:
             rng_factory=factory.child("frozen"),
             backend=self._backend,
             cache=self._cache,
+            reach_kernel=self.config.reach_kernel,
         )
         self._dynamic_estimator = make_sigma_estimator(
             "mc",
@@ -276,6 +289,7 @@ class Dysim:
             bank_reach_evictions=(
                 reach_stats.evictions if reach_stats else 0
             ),
+            bank_reach_kernel=reach_stats.kernel if reach_stats else "",
         )
 
     # ------------------------------------------------------------------

@@ -337,11 +337,16 @@ class FunctionGainOracle:
 class CoverageGainOracle:
     """Exact coverage gains over a packed realization bank.
 
-    One call answers a whole candidate block: the candidates' packed
-    reachability stacks are ANDed against the complement of the packed
-    covered mask, per-item popcounts contracted with the importance
-    vector, and averaged over worlds — no ``(n_worlds, n_pairs)``
-    boolean temporary per candidate.  Gains are bit-identical to the
+    One call answers a whole candidate block: the block's packed
+    reachability stacks come back from the bank's batched
+    ``stacks_for`` — cached stacks are handed over without any
+    conversion, and miss candidates run through the bank's
+    reachability kernel (the bit-parallel multi-world BFS by default)
+    in one fan-out — then the block is ANDed against the complement
+    of the packed covered mask, per-item popcounts contracted with
+    the importance vector, and averaged over worlds: no
+    ``(n_worlds, n_pairs)`` boolean temporary per candidate, no
+    per-world Python BFS per miss.  Gains are bit-identical to the
     boolean scalar reference (:class:`~repro.sketch.greedy.
     CoverageEvaluator`) because both reduce through
     :meth:`PairLayout.weighted_sum`.
@@ -367,9 +372,10 @@ class CoverageGainOracle:
 
     def gains(self, candidates: Sequence) -> np.ndarray:
         pairs = [self._pair(element) for element in candidates]
-        stacked = np.stack(
-            [self.bank.stacked_reach_packed(pair) for pair in pairs]
-        )  # (block, n_worlds, n_words)
+        # One bank call resolves the whole block: cached stacks are
+        # handed over without conversion, misses run through the
+        # bank's reach kernel in a single batched BFS.
+        stacked = np.stack(self.bank.stacks_for(pairs))
         fresh = stacked & ~self._covered[None, :, :]
         weighted = self.layout.weighted_sum(self.layout.item_counts(fresh))
         self.n_evaluations += len(pairs)

@@ -76,6 +76,11 @@ class SerialBackend:
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
         self.chunk_size = int(chunk_size)
 
+    @property
+    def closed(self) -> bool:
+        """Serial execution holds no resources — never closed."""
+        return False
+
     def map_chunks(self, fn, task, chunks: list[list[int]]) -> list:
         """Run ``fn(task, chunk)`` per chunk, results in chunk order.
 
@@ -121,6 +126,17 @@ class _PoolBackend:
 
     def _make_executor(self) -> concurrent.futures.Executor:
         raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran — ``run``/``map_chunks`` raise.
+
+        Long-lived consumers that may outlive the backend they were
+        built with (e.g. a :class:`~repro.sketch.RealizationBank`
+        constructed inside a ``with backend:`` block) probe this to
+        fall back to in-process execution instead of raising.
+        """
+        return self._closed
 
     @property
     def executor(self) -> concurrent.futures.Executor:

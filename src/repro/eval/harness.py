@@ -79,11 +79,13 @@ def run_dysim(
             "oracle": result.oracle,
             "cache_hits": result.cache_hits,
             "cache_misses": result.cache_misses,
-            # Stacked-reach LRU counters of the sketch oracle's bank
-            # (all zero under the mc oracle, which builds no bank).
+            # Stacked-reach LRU counters + active reachability kernel
+            # of the sketch oracle's bank (zero / "" under the mc
+            # oracle, which builds no bank).
             "bank_reach_hits": result.bank_reach_hits,
             "bank_reach_misses": result.bank_reach_misses,
             "bank_reach_evictions": result.bank_reach_evictions,
+            "bank_reach_kernel": result.bank_reach_kernel,
         },
     )
 

@@ -17,6 +17,10 @@ the same worlds.  This package provides:
 * :func:`budgeted_coverage_greedy` — the CELF-style lazy greedy whose
   marginal gains are incremental bitmask lookups (nominee selection's
   fast path);
+* :mod:`repro.sketch.reachkernel` — the bit-parallel multi-world BFS
+  computing all M worlds' reachability in one vectorized pass
+  (``--reach-kernel packed``, the default; ``per-world`` keeps the
+  original M-BFS loop as the bit-identity reference);
 * :func:`make_sigma_estimator` — the ``--oracle mc|sketch`` factory.
 """
 
@@ -34,11 +38,18 @@ from repro.sketch.bank import (
 from repro.sketch.estimator import SketchSigmaEstimator
 from repro.sketch.greedy import CoverageEvaluator, budgeted_coverage_greedy
 from repro.sketch.oracle import ORACLE_NAMES, make_sigma_estimator
+from repro.sketch.reachkernel import (
+    REACH_KERNEL_NAMES,
+    WorldLayout,
+    get_default_reach_kernel,
+    set_default_reach_kernel,
+)
 
 __all__ = [
     "DEFAULT_EXTRA_ADOPTION_FLOOR",
     "DEFAULT_REACH_BUDGET_BYTES",
     "ORACLE_NAMES",
+    "REACH_KERNEL_NAMES",
     "CoverageEvaluator",
     "ProbabilitySkeleton",
     "ReachCacheStats",
@@ -46,8 +57,11 @@ __all__ = [
     "RealizationBank",
     "SketchBuildTask",
     "SketchSigmaEstimator",
+    "WorldLayout",
     "budgeted_coverage_greedy",
     "build_skeleton",
     "build_worlds_chunk",
+    "get_default_reach_kernel",
     "make_sigma_estimator",
+    "set_default_reach_kernel",
 ]

@@ -13,9 +13,17 @@ world count):
 
 * a :class:`ProbabilitySkeleton` — the canonical list of potential
   live edges with their probabilities, shared by all worlds;
-* per world, one batch of coin flips over the skeleton followed by a
-  :class:`ReachabilitySketch` (CSR adjacency + memoized per-source
-  reachability masks).
+* per world, one batch of coin flips over the skeleton; the packed
+  outcomes are then transposed into **world-major** liveness words
+  (:class:`~repro.sketch.reachkernel.WorldLayout`, ``ceil(M/64)``
+  ``uint64`` words per skeleton entry) feeding the bit-parallel
+  multi-world BFS (``reach_kernel="packed"``, the default);
+* on demand, per-world :class:`ReachabilitySketch` objects (CSR
+  adjacency + memoized per-source reachability masks) — the
+  ``reach_kernel="per-world"`` reference path and the per-world query
+  API.  Both kernels produce bit-identical stacks (reachability on a
+  fixed live-edge graph is deterministic), pinned by
+  ``tests/property/test_reach_kernel.py``.
 
 Every ``sigma`` / ``sigma_tau`` / marginal-gain query is then answered
 by bitmask lookups instead of re-simulation.  World ``i`` flips its
@@ -48,6 +56,14 @@ from repro.core.selection import PairLayout
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.replication import DEFAULT_CHUNK_SIZE, chunk_indices
 from repro.errors import SketchError
+from repro.sketch.reachkernel import (
+    MAX_SOURCE_BLOCK,
+    ReachStacksTask,
+    WorldLayout,
+    reach_stacks,
+    reach_stacks_chunk,
+    resolve_reach_kernel,
+)
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -77,13 +93,15 @@ DEFAULT_EXTRA_ADOPTION_FLOOR = 1e-6
 @dataclass(frozen=True)
 class ReachCacheStats:
     """Counters of the bank's stacked-reach LRU (see
-    :meth:`RealizationBank.stacked_reach_packed`)."""
+    :meth:`RealizationBank.stacked_reach_packed`), plus which
+    reachability kernel fills misses."""
 
     hits: int
     misses: int
     evictions: int
     bytes_in_use: int
     budget_bytes: int | None
+    kernel: str = "packed"
 
 
 @dataclass
@@ -302,12 +320,23 @@ class ReachabilitySketch:
         array, unpacked from the memoized words)."""
         return self.layout.unpack(self.reach_packed(pair))
 
-    def group_mask(self, pairs: Iterable[int]) -> np.ndarray:
-        """Union of the sources' reachability masks (a fresh array)."""
+    def group_packed(self, pairs: Iterable[int]) -> np.ndarray:
+        """Packed-word union of the sources' reachability masks.
+
+        Stays in packed space end-to-end — no ``layout.unpack``
+        allocation — so callers that only need the union (coverage
+        sums, membership words) should prefer this over
+        :meth:`group_mask`.
+        """
         union = np.zeros(self.layout.n_words, dtype=np.uint64)
         for pair in pairs:
             union |= self.reach_packed(pair)
-        return self.layout.unpack(union)
+        return union
+
+    def group_mask(self, pairs: Iterable[int]) -> np.ndarray:
+        """Boolean union of the sources' reachability masks (a fresh
+        array, unpacked from :meth:`group_packed`)."""
+        return self.layout.unpack(self.group_packed(pairs))
 
 
 class RealizationBank:
@@ -328,14 +357,24 @@ class RealizationBank:
         Association probabilities at or below this are dropped from the
         skeleton (mirrors the simulator's pruning floor).
     backend / workers:
-        Where world construction runs; any
-        :class:`~repro.engine.backends.ExecutionBackend` (or name)
-        — coin flipping fans out over the canonical world chunks and
-        reassembles in order, so banks are backend-independent.
+        Where world construction and packed-kernel stack misses run;
+        any :class:`~repro.engine.backends.ExecutionBackend` (or name)
+        — coin flipping fans out over the canonical world chunks, and
+        :meth:`stacks_for` fans miss blocks out over canonical source
+        chunks, both reassembling in order, so banks are
+        backend-independent.
     reach_budget_bytes:
         Byte budget of the stacked-reach LRU (None = unbounded).
         Eviction only trades recomputation for memory — query results
         are unaffected.
+    reach_kernel:
+        ``"packed"`` (default) answers stack misses with the
+        bit-parallel multi-world BFS of
+        :mod:`repro.sketch.reachkernel`; ``"per-world"`` runs one
+        Python BFS per :class:`ReachabilitySketch` — the bit-identity
+        reference.  ``None`` resolves the process-wide default (CLI
+        ``--reach-kernel``).  Stacks, sigma values and LRU accounting
+        are bit-identical across kernels.
     """
 
     def __init__(
@@ -349,6 +388,7 @@ class RealizationBank:
         workers: int | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
+        reach_kernel: str | None = None,
     ):
         if n_worlds < 1:
             raise ValueError(f"n_worlds must be >= 1, got {n_worlds}")
@@ -356,6 +396,7 @@ class RealizationBank:
         self.n_worlds = int(n_worlds)
         self.rng_seed = int(rng_seed)
         self.rng_context = tuple(rng_context)
+        self.reach_kernel = resolve_reach_kernel(reach_kernel)
         self.skeleton = build_skeleton(instance, extra_adoption_floor)
         #: Packed-word layout shared by every world's reachability memo
         #: and the coverage gain kernel.
@@ -364,32 +405,34 @@ class RealizationBank:
             instance.n_items,
             np.asarray(instance.importance, dtype=float),
         )
-        resolved = resolve_backend(backend, workers)
+        #: Packed-word layout of the worlds axis (the multi-world BFS
+        #: state and the per-entry liveness words).
+        self.world_layout = WorldLayout(self.n_worlds)
+        self._backend = resolve_backend(backend, workers)
+        self._chunk_size = int(chunk_size)
         task = SketchBuildTask(
             prob=self.skeleton.prob,
             rng_seed=self.rng_seed,
             rng_context=self.rng_context,
         )
-        packed_chunks = resolved.map_chunks(
+        packed_chunks = self._backend.map_chunks(
             build_worlds_chunk,
             task,
-            chunk_indices(self.n_worlds, chunk_size),
+            chunk_indices(self.n_worlds, self._chunk_size),
         )
-        n_entries = self.skeleton.n_entries
-        self.worlds: list[ReachabilitySketch] = []
-        for packed in itertools.chain.from_iterable(packed_chunks):
-            if n_entries:
-                live = np.unpackbits(packed, count=n_entries).astype(bool)
-            else:
-                live = np.zeros(0, dtype=bool)
-            self.worlds.append(
-                ReachabilitySketch(
-                    self.skeleton.n_pairs,
-                    self.skeleton.src[live],
-                    self.skeleton.dst[live],
-                    self.layout,
-                )
-            )
+        #: Per-world packed coin outcomes in canonical world order —
+        #: the single source both representations derive from, so the
+        #: pinned draw order cannot drift between kernels.
+        self._world_coins: list[np.ndarray] = list(
+            itertools.chain.from_iterable(packed_chunks)
+        )
+        # Both derived views are lazy: per-world sketches argsort one
+        # adjacency per world, the world-major arc liveness transposes
+        # all coins once — each kernel only pays for the view it uses.
+        self._worlds: list[ReachabilitySketch] | None = None
+        self._packed_graph: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
         #: Importance of the item behind each pair index — the weight
         #: vector every coverage query dots against.
         self.pair_importance = np.tile(
@@ -398,9 +441,89 @@ class RealizationBank:
         self.reach_budget_bytes = reach_budget_bytes
         self._stacked_packed: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._stacked_bytes = 0
+        #: Scratch union buffer reused by :meth:`spread_stats` across
+        #: worlds and calls (one ``n_words`` row, never aliased out).
+        self._union_scratch = np.empty(self.layout.n_words, dtype=np.uint64)
         self.reach_hits = 0
         self.reach_misses = 0
         self.reach_evictions = 0
+
+    @property
+    def worlds(self) -> list[ReachabilitySketch]:
+        """Per-world reachability sketches (materialized on demand).
+
+        The packed kernel never needs them; the per-world reference
+        kernel and the per-world query API (``reach_mask`` /
+        ``group_packed``) build them here on first access.  Worlds are
+        derived deterministically from the stored coin outcomes, so
+        lazy materialization cannot change any result (a concurrent
+        first access at worst duplicates the build).
+        """
+        if self._worlds is None:
+            n_entries = self.skeleton.n_entries
+            worlds = []
+            for packed in self._world_coins:
+                if n_entries:
+                    live = np.unpackbits(packed, count=n_entries).astype(
+                        bool
+                    )
+                else:
+                    live = np.zeros(0, dtype=bool)
+                worlds.append(
+                    ReachabilitySketch(
+                        self.skeleton.n_pairs,
+                        self.skeleton.src[live],
+                        self.skeleton.dst[live],
+                        self.layout,
+                    )
+                )
+            self._worlds = worlds
+        return self._worlds
+
+    def _reach_graph(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared skeleton CSR + world-major arc liveness (lazy).
+
+        One adjacency for all M worlds: arcs are the skeleton entries
+        sorted stably by source pair, and ``arc_live[k]`` holds arc
+        ``k``'s liveness words across worlds (bit ``w`` set iff world
+        ``w`` drew the entry live).  The transpose happens once, after
+        the canonical per-world draws — the draw order is untouched.
+        """
+        if self._packed_graph is None:
+            skeleton = self.skeleton
+            n_word_bytes = self.world_layout.n_words * 8
+            if skeleton.n_entries:
+                coins = np.stack(self._world_coins)  # (M, n_bytes)
+                bits = np.unpackbits(
+                    coins, axis=1, count=skeleton.n_entries
+                )
+                # Pack down the worlds axis: byte j of entry e holds
+                # worlds 8j..8j+7 MSB-first — exactly the
+                # WorldLayout.pack convention, via one byte transpose
+                # instead of a padded (n_entries, M) boolean pass.
+                by_entry = np.packbits(bits, axis=0)  # (ceil(M/8), E)
+                padded = np.zeros(
+                    (n_word_bytes, skeleton.n_entries), dtype=np.uint8
+                )
+                padded[: by_entry.shape[0]] = by_entry
+                arc_live = np.ascontiguousarray(padded.T).view(np.uint64)
+            else:
+                arc_live = np.zeros(
+                    (0, self.world_layout.n_words), dtype=np.uint64
+                )
+            # Arcs dead in *every* world can never propagate a bit —
+            # drop them once so each BFS level only gathers arcs that
+            # exist somewhere (pruning cannot change reachability).
+            somewhere_live = arc_live.any(axis=1)
+            src = skeleton.src[somewhere_live]
+            order = np.argsort(src, kind="stable")
+            indices = skeleton.dst[somewhere_live][order]
+            arc_live = arc_live[somewhere_live][order]
+            counts = np.bincount(src, minlength=skeleton.n_pairs)
+            indptr = np.zeros(skeleton.n_pairs + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._packed_graph = (indptr, indices, arc_live)
+        return self._packed_graph
 
     # ------------------------------------------------------------------
     def pair_index(self, user: int, item: int) -> int:
@@ -449,9 +572,12 @@ class RealizationBank:
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """Per-world spreads (and restricted spreads) of a nominee set.
 
-        Reachability goes through :meth:`stacked_reach_packed`, so the
-        sigma path shares the byte-budget LRU with selection — query
-        workloads cannot grow the bank's memoization without bound.
+        Reachability goes through :meth:`stacks_for`, so the sigma
+        path shares the byte-budget LRU with selection (query
+        workloads cannot grow the bank's memoization without bound)
+        and miss blocks run through the configured reach kernel in one
+        batch.  The per-world union reuses one scratch buffer across
+        the loop instead of allocating a copy per world.
         """
         spreads = np.zeros(self.n_worlds)
         restricted = (
@@ -464,11 +590,12 @@ class RealizationBank:
                 if restrict_users is not None
                 else None
             )
-            stacks = [self.stacked_reach_packed(pair) for pair in pairs]
+            stacks = self.stacks_for(pairs)
+            union = self._union_scratch
             for i in range(self.n_worlds):
-                union = stacks[0][i].copy()
+                np.copyto(union, stacks[0][i])
                 for stack in stacks[1:]:
-                    union |= stack[i]
+                    np.bitwise_or(union, stack[i], out=union)
                 mask = self.layout.unpack(union)
                 spreads[i] = float(weights[mask].sum())
                 if restricted is not None:
@@ -489,22 +616,118 @@ class RealizationBank:
         deduplicated into it; a later query recomputes the identical
         masks.  Read-only.
         """
-        cached = self._stacked_packed.get(pair)
-        if cached is not None:
-            self.reach_hits += 1
-            self._stacked_packed.move_to_end(pair)
-            return cached
-        self.reach_misses += 1
-        stacked = np.stack(
-            [world.reach_packed(pair) for world in self.worlds]
+        return self.stacks_for((pair,))[0]
+
+    def stacks_for(self, pairs: Sequence[int]) -> list[np.ndarray]:
+        """Packed reachability stacks of a candidate block (batched).
+
+        Misses are computed up-front in one batch — under the packed
+        kernel the sources fan out in canonical chunks over the bank's
+        execution backend — and then the per-pair LRU access sequence
+        is replayed exactly as sequential
+        :meth:`stacked_reach_packed` calls would run it, so hit / miss
+        / eviction counters, byte accounting and recency order are
+        bit-identical to the unbatched path whatever the kernel or
+        backend.  Returned arrays are the cached objects — read-only.
+        """
+        cache = self._stacked_packed
+        missing = [
+            pair for pair in dict.fromkeys(pairs) if pair not in cache
+        ]
+        computed = self._compute_stacks(missing)
+        out = []
+        for pair in pairs:
+            cached = cache.get(pair)
+            if cached is not None:
+                self.reach_hits += 1
+                cache.move_to_end(pair)
+                out.append(cached)
+                continue
+            stacked = computed.get(pair)
+            if stacked is None:
+                # Cached during phase 1 but evicted by a later insert
+                # of this very block (tiny budgets): recompute, exactly
+                # as the sequential path would re-miss here.
+                stacked = self._compute_stacks([pair])[pair]
+            self._insert_stack(pair, stacked)
+            out.append(stacked)
+        return out
+
+    def _compute_stacks(
+        self, missing: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Reachability stacks of uncached pairs via the active kernel."""
+        if not missing:
+            return {}
+        if self.reach_kernel == "per-world":
+            worlds = self.worlds
+            return {
+                pair: np.stack(
+                    [world.reach_packed(pair) for world in worlds]
+                )
+                for pair in missing
+            }
+        indptr, indices, arc_live = self._reach_graph()
+        backend = self._backend
+        serial = (
+            backend.name == "serial"
+            or len(missing) <= self._chunk_size
+            or getattr(backend, "closed", False)
         )
+        if serial:
+            # No workers to feed (or a backend whose pool is gone —
+            # e.g. a bank outliving a ``with backend:`` block): the
+            # whole block runs as ONE multi-source BFS, which is the
+            # fastest shape — per-level dispatch overhead amortizes
+            # across all sources.  Stacks are per-source
+            # deterministic, so blocking is bit-identical to any
+            # chunking.
+            stacks = reach_stacks(
+                indptr,
+                indices,
+                arc_live,
+                list(missing),
+                self.layout,
+                self.world_layout,
+            )
+            return dict(zip(missing, stacks))
+        task = ReachStacksTask(
+            indptr=indptr,
+            indices=indices,
+            arc_live=arc_live,
+            pair_layout=self.layout,
+            world_layout=self.world_layout,
+            sources=tuple(missing),
+        )
+        # One chunk per worker (not the replication chunk size): each
+        # chunk is one multi-source BFS, so bigger chunks amortize the
+        # per-level dispatch — and, on process pools, the per-chunk
+        # task pickle.  Chunking never affects results: stacks are
+        # per-source deterministic and map_chunks preserves order.
+        workers = getattr(backend, "workers", None) or 1
+        block = max(self._chunk_size, -(-len(missing) // workers))
+        block = min(block, MAX_SOURCE_BLOCK)
+        stacks = itertools.chain.from_iterable(
+            backend.map_chunks(
+                reach_stacks_chunk,
+                task,
+                chunk_indices(len(missing), block),
+            )
+        )
+        return dict(zip(missing, stacks))
+
+    def _insert_stack(self, pair: int, stacked: np.ndarray) -> None:
+        """Account one freshly computed stack into the LRU (a miss)."""
+        self.reach_misses += 1
         self._stacked_packed[pair] = stacked
         self._stacked_bytes += stacked.nbytes
         # Deduplicate: point each world's memoized mask at its row of
         # the stack, so the bank holds one copy per candidate instead
-        # of stack + per-world masks.
-        for world, row in zip(self.worlds, stacked):
-            world._reach[pair] = row
+        # of stack + per-world masks.  Only when the per-world
+        # sketches exist — the packed kernel never materializes them.
+        if self._worlds is not None:
+            for world, row in zip(self._worlds, stacked):
+                world._reach[pair] = row
         if self.reach_budget_bytes is not None:
             # Never evict the entry just inserted (len > 1): a budget
             # smaller than one stack would otherwise thrash — insert,
@@ -518,9 +741,9 @@ class RealizationBank:
                 )
                 self._stacked_bytes -= evicted.nbytes
                 self.reach_evictions += 1
-                for world in self.worlds:
-                    world._reach.pop(evicted_pair, None)
-        return stacked
+                if self._worlds is not None:
+                    for world in self._worlds:
+                        world._reach.pop(evicted_pair, None)
 
     def stacked_reach(self, pair: int) -> np.ndarray:
         """(n_worlds, n_pairs) boolean reachability stack (compat).
@@ -539,6 +762,7 @@ class RealizationBank:
             evictions=self.reach_evictions,
             bytes_in_use=self._stacked_bytes,
             budget_bytes=self.reach_budget_bytes,
+            kernel=self.reach_kernel,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -62,6 +62,7 @@ class SketchSigmaEstimator(SigmaEstimator):
         cache: SigmaCache | None = None,
         extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
         reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
+        reach_kernel: str | None = None,
     ):
         super().__init__(
             instance,
@@ -74,6 +75,10 @@ class SketchSigmaEstimator(SigmaEstimator):
         )
         self.extra_adoption_floor = float(extra_adoption_floor)
         self.reach_budget_bytes = reach_budget_bytes
+        #: Reachability kernel for the bank (``packed`` / ``per-world``
+        #: / None = process default) — stacks and sigma values are
+        #: bit-identical across kernels, so this is a pure perf knob.
+        self.reach_kernel = reach_kernel
         self._bank: RealizationBank | None = None
         # Unsupported queries delegate here; sharing the cache is safe
         # because cache keys embed each estimator's oracle_kind, and
@@ -113,6 +118,7 @@ class SketchSigmaEstimator(SigmaEstimator):
                 extra_adoption_floor=self.extra_adoption_floor,
                 backend=self.backend,
                 reach_budget_bytes=self.reach_budget_bytes,
+                reach_kernel=self.reach_kernel,
             )
         return self._bank
 

@@ -10,7 +10,10 @@ re-comparisons, no Monte-Carlo variance.
 :func:`budgeted_coverage_greedy` is
 :func:`repro.core.selection.mcp_lazy_greedy` driven by a
 :class:`~repro.core.selection.CoverageGainOracle` — the packed-word
-batched kernel.  :class:`CoverageEvaluator` is kept as the **boolean
+batched kernel, whose uncached reachability stacks come from the
+bank's configured reach kernel (the bit-parallel multi-world BFS by
+default; selections are kernel-invariant because the stacks are
+bit-identical).  :class:`CoverageEvaluator` is kept as the **boolean
 scalar reference**: it evaluates one candidate at a time against a
 boolean covered mask, reducing through the same per-item-count
 contraction (:meth:`~repro.core.selection.PairLayout.weighted_sum`),

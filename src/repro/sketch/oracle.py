@@ -32,16 +32,21 @@ def make_sigma_estimator(
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
     cache: SigmaCache | None = None,
+    reach_kernel: str | None = None,
 ) -> SigmaEstimator:
-    """Build the sigma estimator for an oracle kind (``None`` = mc)."""
+    """Build the sigma estimator for an oracle kind (``None`` = mc).
+
+    ``reach_kernel`` selects the sketch oracle's reachability kernel
+    (``"packed"`` / ``"per-world"``; ``None`` = the process-wide
+    default, which the CLI's ``--reach-kernel`` sets) and is ignored
+    by the Monte-Carlo oracle, which holds no realization bank.
+    """
     kind = oracle or "mc"
     if kind not in ORACLE_NAMES:
         raise ValueError(
             f"unknown oracle {oracle!r}; expected one of {ORACLE_NAMES}"
         )
-    factory = SketchSigmaEstimator if kind == "sketch" else SigmaEstimator
-    return factory(
-        instance,
+    kwargs = dict(
         model=model,
         n_samples=n_samples,
         rng_factory=rng_factory,
@@ -49,3 +54,8 @@ def make_sigma_estimator(
         workers=workers,
         cache=cache,
     )
+    if kind == "sketch":
+        return SketchSigmaEstimator(
+            instance, reach_kernel=reach_kernel, **kwargs
+        )
+    return SigmaEstimator(instance, **kwargs)

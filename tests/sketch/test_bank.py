@@ -123,6 +123,10 @@ class TestQueries:
         for world in bank.worlds:
             union = world.reach_mask(pairs[0]) | world.reach_mask(pairs[1])
             assert np.array_equal(world.group_mask(pairs), union)
+            # the packed union is the same set, never unpacked
+            packed = world.group_packed(pairs)
+            assert packed.dtype == np.uint64
+            assert np.array_equal(world.layout.unpack(packed), union)
 
     def test_restricted_weights_subset(self, bank):
         pairs = (bank.pair_index(0, 0), bank.pair_index(2, 1))
@@ -161,6 +165,93 @@ class TestQueries:
         assert np.array_equal(stacked, bank.stacked_reach(pair))
         for world, row in zip(bank.worlds, stacked):
             assert np.array_equal(world.reach_mask(pair), row)
+
+    def test_stacks_for_batched_equals_sequential(self, frozen):
+        """Batched stack queries replay the per-pair LRU sequence —
+        same arrays, same hit/miss/eviction counters, same bytes —
+        as one stacked_reach_packed call per pair."""
+        batched = RealizationBank(frozen, n_worlds=4, rng_seed=13)
+        sequential = RealizationBank(frozen, n_worlds=4, rng_seed=13)
+        pairs = [0, 5, 0, 9, 5, 2]  # duplicates become hits
+        block = batched.stacks_for(pairs)
+        singles = [
+            sequential.stacked_reach_packed(pair) for pair in pairs
+        ]
+        for ours, theirs in zip(block, singles):
+            assert np.array_equal(ours, theirs)
+        ours, theirs = batched.reach_stats(), sequential.reach_stats()
+        assert (ours.hits, ours.misses, ours.evictions) == (
+            theirs.hits,
+            theirs.misses,
+            theirs.evictions,
+        )
+        assert ours.bytes_in_use == theirs.bytes_in_use
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [
+            lambda: ThreadBackend(workers=3, chunk_size=2),
+            lambda: ProcessPoolBackend(workers=2, chunk_size=2),
+        ],
+    )
+    def test_stacks_fan_out_backend_independent(
+        self, frozen, backend_factory
+    ):
+        """Packed-kernel miss blocks fan out over pool backends yet
+        reassemble in canonical order — stacks and LRU accounting
+        match the serial bank exactly."""
+        serial = RealizationBank(
+            frozen, n_worlds=4, rng_seed=23, backend=SerialBackend()
+        )
+        pairs = list(range(12))
+        with backend_factory() as backend:
+            pooled = RealizationBank(
+                frozen, n_worlds=4, rng_seed=23, backend=backend
+            )
+            for ours, theirs in zip(
+                pooled.stacks_for(pairs), serial.stacks_for(pairs)
+            ):
+                assert np.array_equal(ours, theirs)
+        ours, theirs = pooled.reach_stats(), serial.reach_stats()
+        assert (ours.hits, ours.misses, ours.bytes_in_use) == (
+            theirs.hits,
+            theirs.misses,
+            theirs.bytes_in_use,
+        )
+        # the pool is closed now; new misses fall back in-process
+        assert np.array_equal(
+            pooled.stacked_reach_packed(15), serial.stacked_reach_packed(15)
+        )
+
+    def test_per_world_kernel_is_bit_identical(self, frozen):
+        packed = RealizationBank(
+            frozen, n_worlds=6, rng_seed=17, reach_kernel="packed"
+        )
+        reference = RealizationBank(
+            frozen, n_worlds=6, rng_seed=17, reach_kernel="per-world"
+        )
+        assert packed.reach_stats().kernel == "packed"
+        assert reference.reach_stats().kernel == "per-world"
+        for pair in range(frozen.n_users * frozen.n_items):
+            assert np.array_equal(
+                packed.stacked_reach_packed(pair),
+                reference.stacked_reach_packed(pair),
+            )
+
+    def test_packed_kernel_never_materializes_worlds(self, frozen):
+        """The packed kernel answers stacks off the shared world-major
+        graph; per-world sketches stay unbuilt until the per-world
+        API asks for them."""
+        bank = RealizationBank(
+            frozen, n_worlds=4, rng_seed=19, reach_kernel="packed"
+        )
+        bank.stacks_for(range(8))
+        assert bank._worlds is None
+        assert len(bank.worlds) == 4  # materialized on demand
+
+    def test_unknown_kernel_rejected(self, frozen):
+        with pytest.raises(ValueError):
+            RealizationBank(frozen, n_worlds=2, reach_kernel="warp")
 
     def test_reach_lru_counts_hits_and_evictions(self, frozen):
         unbounded = RealizationBank(frozen, n_worlds=4, rng_seed=9)
