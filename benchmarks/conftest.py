@@ -1,9 +1,23 @@
 """Shared benchmark plumbing.
 
-Every benchmark regenerates one of the paper's tables/figures at
-reproduction scale (see EXPERIMENTS.md for the paper-vs-here parameter
-mapping) and writes the series it would plot to
-``benchmarks/results/<figure>.txt`` in addition to printing it.
+The figure/table benchmarks are thin *spec + render* pairs over
+``repro.sweep``: each test resolves its declarative
+:class:`~repro.sweep.SweepSpec` (:func:`run_spec`), runs whatever
+``(config, seed)`` runs the canonical store under
+``benchmarks/results/store/`` does not yet hold — on a fully populated
+checkout that is a pure resume hit, zero new runs — and regenerates its
+txt artifact from the store (:func:`render_figures`).  Shape assertions
+read the stored rows, not ad-hoc return values, so ``repro sweep
+run/render`` and the benchmarks can never drift apart.
+
+CI smoke (``REPRO_BENCH_SMOKE=1`` plus the ``REPRO_BENCH_*_SAMPLES``
+overrides) lowers the replication counts; those counts participate in
+the config hash, so smoke rows are computed fresh and coexist with the
+committed full-scale rows instead of superseding them.
+
+The scaling benchmarks additionally append to the ``bench`` perf
+trajectory (:func:`record_bench`), which ``repro sweep bench``
+snapshots into ``BENCH_v6.json`` for the CI regression gate.
 """
 
 from __future__ import annotations
@@ -14,8 +28,25 @@ import pathlib
 import pytest
 
 from repro.data import load_dataset
+from repro.sweep import (
+    ResultStore,
+    get_spec,
+    record_bench_series,
+    render_spec,
+    run_sweep,
+    scale_from_env,
+)
+from repro.sweep.render import _rows_for
+from repro.sweep.specs import FIG9_SCALES
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The canonical committed result store (one jsonl per spec).
+STORE = ResultStore(RESULTS_DIR / "store")
+
+#: Replication counts with CI smoke overrides applied; part of every
+#: run's config hash (see repro.sweep.specs).
+SCALE = scale_from_env()
 
 
 def _env_int(name: str, default: int) -> int:
@@ -29,34 +60,6 @@ def _env_int(name: str, default: int) -> int:
 #: checks; the series are still recorded and uploaded as artifacts.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
-#: Reproduction-scale sweep parameters (paper values in comments).
-FIG8_BUDGETS = (50.0, 75.0, 100.0, 125.0)     # paper: same
-FIG8_PROMOTIONS = (1, 2, 3)                   # paper: same
-FIG9_BUDGETS = (100.0, 300.0, 500.0)          # paper: 100..500 step 100
-FIG9_PROMOTIONS = (1, 5, 10)                  # paper: 1,5,10,20,40
-FIG9_T = 10                                   # paper: same
-FIG9_COST_SCALE = 4.0                         # keeps seed counts realistic
-ALGO_SAMPLES = _env_int("REPRO_BENCH_ALGO_SAMPLES", 5)
-EVAL_SAMPLES = _env_int("REPRO_BENCH_EVAL_SAMPLES", 30)
-#: Fig. 12 gives Dysim extra samples (its dense class graphs are noisy).
-FIG12_DYSIM_SAMPLES = _env_int("REPRO_BENCH_DYSIM_SAMPLES", 12)
-
-#: Tight algorithm knobs for the large-figure sweeps.
-FAST_KWARGS = {
-    # Nominee selection is the noise-sensitive phase (the paper runs
-    # M=100); give it more samples while the inner DR/SI loops stay at
-    # the shared default.
-    "Dysim": {"candidate_pool": 70, "n_samples_selection": 15},
-    "BGRD": {"candidate_users": 25},
-    "HAG": {"candidate_pairs": 40},
-    "PS": {},
-    "DRHGA": {"candidate_users": 20, "users_per_item": 2},
-}
-
-#: Dataset scale factors for the large figures (users shrink ~1/1000
-#: of the originals already; these shrink further for sweep breadth).
-FIG9_SCALES = {"yelp": 1.0, "amazon": 0.45, "douban": 0.35, "gowalla": 0.5}
-
 
 def record_figure(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -64,6 +67,42 @@ def record_figure(name: str, text: str) -> None:
     banner = f"\n=== {name} ===\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_spec(name: str):
+    """Run a builtin spec's pending runs (resume-aware).
+
+    Returns ``(spec, rows)`` with the ok-rows in canonical expansion
+    order; fails the benchmark if any run tombstoned.
+    """
+    spec = get_spec(name, SCALE)
+    report = run_sweep(spec, STORE)
+    assert report.n_failed == 0, report.summary()
+    return spec, _rows_for(spec, STORE)
+
+
+def render_figures(spec) -> None:
+    """Regenerate the spec's txt artifacts from the store."""
+    for artifact, text in render_spec(spec, STORE).items():
+        record_figure(artifact, text)
+
+
+def series(rows, algorithm: str, x_key: str) -> dict:
+    """``{params[x_key]: sigma}`` for one algorithm's stored rows."""
+    return {
+        row.params[x_key]: row.payload["sigma"]
+        for row in rows
+        if row.params["algorithm"] == algorithm
+    }
+
+
+def record_bench(series_name: str, value_ms: float, speedup: float,
+                 **context) -> None:
+    """Append one scaling measurement to the bench perf trajectory."""
+    record_bench_series(
+        STORE, series_name, value_ms, speedup,
+        {**context, "smoke": SMOKE},
+    )
 
 
 @pytest.fixture(scope="session")

@@ -33,7 +33,7 @@ from repro.core.dysim.nominees import rank_candidates
 from repro.sketch import RealizationBank
 from repro.eval.reporting import format_table
 
-from benchmarks.conftest import SMOKE, _env_int, record_figure
+from benchmarks.conftest import SMOKE, _env_int, record_bench, record_figure
 
 BANK_WORLDS = _env_int("REPRO_BENCH_BANK_WORLDS", 64 if SMOKE else 256)
 BANK_POOL = _env_int("REPRO_BENCH_BANK_POOL", 96)
@@ -104,6 +104,10 @@ def test_bank_scaling(dataset_cache):
         )
         + "\n"
         + footer,
+    )
+    record_bench(
+        "bank_scaling", packed_seconds * 1e3, speedup,
+        worlds=BANK_WORLDS, pool=len(pairs), rounds=BANK_ROUNDS,
     )
 
     # Reachability on fixed live-edge graphs is deterministic: the two

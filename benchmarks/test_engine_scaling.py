@@ -26,7 +26,7 @@ from repro.engine import ProcessPoolBackend, SerialBackend, ThreadBackend
 from repro.eval.reporting import format_table
 from repro.utils.rng import RngFactory
 
-from benchmarks.conftest import SMOKE, _env_int, record_figure
+from benchmarks.conftest import SMOKE, _env_int, record_bench, record_figure
 
 ENGINE_SAMPLES = _env_int("REPRO_BENCH_ENGINE_SAMPLES", 320)
 ENGINE_WORKERS = _env_int("REPRO_BENCH_ENGINE_WORKERS", 4)
@@ -84,6 +84,15 @@ def test_engine_scaling(dataset_cache):
     headers = ["backend", "workers", "seconds", "speedup_vs_serial"]
     footer = f"samples={ENGINE_SAMPLES} cpu_count={os.cpu_count()}"
     record_figure("engine_scaling", format_table(headers, rows) + "\n" + footer)
+    _, process_recorded = results["process"]
+    record_bench(
+        # Recorded for the trajectory but NOT gate-tracked: pool-vs-
+        # serial ratios depend on the runner's core count.
+        "engine_scaling", process_recorded * 1e3,
+        serial_seconds / process_recorded if process_recorded > 0 else 0.0,
+        workers=ENGINE_WORKERS, samples=ENGINE_SAMPLES,
+        cpu_count=os.cpu_count() or 1,
+    )
 
     # Bit-identity across backends (the engine's core guarantee).
     for name, (estimate, _) in results.items():

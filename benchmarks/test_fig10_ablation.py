@@ -4,80 +4,28 @@ Paper setup: Yelp and Amazon, budget and T sweeps.  Expected shape:
 both ablations lose influence spread, and the gap widens as T grows
 (Sec. VI-C's third observation).
 
-Reproduction scale: b in {60, 100} at T=10 and T in {5, 10} at b=80.
+Thin spec + render pair over the ``fig10_yelp`` / ``fig10_amazon``
+sweep specs (setting x variant; budgets mirror the paper's 750-1500 >
+Fig. 9 range, affording ~4-8 seeds under cost_scale=4).
 """
 
 import pytest
 
-from repro.eval.harness import evaluate_group, run_algorithm
-from repro.eval.reporting import format_table
-
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG9_COST_SCALE,
-    record_figure,
-)
-
-VARIANTS = {
-    "Dysim": {},
-    "w/o TM": {"use_target_markets": False},
-    "w/o IP": {"use_item_priority": False},
-}
-
-
-def _run_variants(dataset_cache, dataset, sweeps):
-    rows = []
-    for label, budget, n_promotions in sweeps:
-        instance = dataset_cache(
-            dataset,
-            budget=budget,
-            n_promotions=n_promotions,
-            cost_scale=FIG9_COST_SCALE,
-        )
-        for variant, overrides in VARIANTS.items():
-            result = run_algorithm(
-                "Dysim",
-                instance,
-                n_samples=ALGO_SAMPLES,
-                candidate_pool=40,
-                # Ablation isolates the constructed strategy; the
-                # Theorem-5 fallbacks are shared across variants and
-                # would mask the TM/IP differences.
-                use_fallbacks=False,
-                **overrides,
-            )
-            sigma = evaluate_group(
-                instance, result.seed_group, n_samples=EVAL_SAMPLES
-            )
-            rows.append([label, variant, f"{sigma:.1f}"])
-    return rows
+from benchmarks.conftest import render_figures, run_spec
 
 
 @pytest.mark.parametrize("dataset", ["yelp", "amazon"])
-def test_fig10_ablation(benchmark, dataset_cache, dataset):
-    # Fig. 10's budgets exceed Fig. 9's (750-1500 vs 100-500); mirror
-    # that: these afford ~4-8 seeds under cost_scale=4.
-    sweeps = [
-        ("b=300,T=10", 300.0, 10),
-        ("b=500,T=10", 500.0, 10),
-        ("b=400,T=5", 400.0, 5),
-        ("b=400,T=10", 400.0, 10),
-    ]
-    rows = benchmark.pedantic(
-        _run_variants,
-        args=(dataset_cache, dataset, sweeps),
-        rounds=1,
-        iterations=1,
+def test_fig10_ablation(benchmark, dataset):
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(f"fig10_{dataset}",), rounds=1, iterations=1
     )
-    record_figure(
-        f"fig10_ablation_{dataset}",
-        format_table(["setting", "variant", "sigma"], rows),
-    )
+    render_figures(spec)
     # Shape: the full algorithm is never dominated across the sweep.
     by_setting: dict[str, dict[str, float]] = {}
-    for setting, variant, sigma in rows:
-        by_setting.setdefault(setting, {})[variant] = float(sigma)
+    for row in rows:
+        by_setting.setdefault(row.params["setting"], {})[
+            row.params["variant"]
+        ] = row.payload["sigma"]
     wins = sum(
         1
         for values in by_setting.values()

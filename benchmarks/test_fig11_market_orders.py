@@ -5,68 +5,27 @@ Paper setup (Sec. VI-D): order overlapping target markets by AE
 market share) or RD (random).  Expected shape: AE and PF usually lead;
 SZ, RMS and RD trail because they ignore substitutable relationships.
 
-Reproduction scale: Yelp and Amazon analogues, b in {60, 100}, T=10.
+Thin spec + render pair over the ``fig11_yelp`` / ``fig11_amazon``
+sweep specs (budget x order at T=10, theta=0, fallbacks off — see
+repro.sweep.specs for why).
 """
 
 import pytest
 
-from repro.core.dysim.markets import MARKET_ORDERS
-from repro.eval.harness import evaluate_group, run_algorithm
-from repro.eval.reporting import format_table
-
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG9_COST_SCALE,
-    record_figure,
-)
-
-
-def _run_orders(dataset_cache, dataset, budgets):
-    rows = []
-    for budget in budgets:
-        instance = dataset_cache(
-            dataset,
-            budget=budget,
-            n_promotions=10,
-            cost_scale=FIG9_COST_SCALE,
-        )
-        for order in MARKET_ORDERS:
-            result = run_algorithm(
-                "Dysim",
-                instance,
-                n_samples=ALGO_SAMPLES,
-                candidate_pool=40,
-                market_order=order,
-                # Grouping threshold of 0 maximizes how often ordering
-                # matters (every overlapping market pair is grouped),
-                # and the shared fallbacks are disabled so the figure
-                # compares the *orders*, not a common fallback.
-                theta=0,
-                use_fallbacks=False,
-            )
-            sigma = evaluate_group(
-                instance, result.seed_group, n_samples=EVAL_SAMPLES
-            )
-            rows.append([f"b={budget:.0f}", order, f"{sigma:.1f}"])
-    return rows
+from benchmarks.conftest import render_figures, run_spec
 
 
 @pytest.mark.parametrize("dataset", ["yelp", "amazon"])
-def test_fig11_market_orders(benchmark, dataset_cache, dataset):
-    rows = benchmark.pedantic(
-        _run_orders,
-        args=(dataset_cache, dataset, (300.0, 500.0)),
-        rounds=1,
-        iterations=1,
+def test_fig11_market_orders(benchmark, dataset):
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(f"fig11_{dataset}",), rounds=1, iterations=1
     )
-    record_figure(
-        f"fig11_market_orders_{dataset}",
-        format_table(["setting", "order", "sigma"], rows),
-    )
+    render_figures(spec)
     # Shape: AE is never far behind the best order at any setting.
-    by_setting: dict[str, dict[str, float]] = {}
-    for setting, order, sigma in rows:
-        by_setting.setdefault(setting, {})[order] = float(sigma)
+    by_setting: dict[float, dict[str, float]] = {}
+    for row in rows:
+        by_setting.setdefault(row.params["budget"], {})[
+            row.params["order"]
+        ] = row.payload["sigma"]
     for values in by_setting.values():
         assert values["AE"] >= max(values.values()) * 0.6

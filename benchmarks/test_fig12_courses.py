@@ -4,56 +4,27 @@ Paper setup (Sec. VI-E): five recruited classes, 30 elective courses,
 b=50, T=3; compares Dysim, BGRD, HAG and PS by the number of students
 selecting courses.  Expected shape: Dysim induces the most enrolments
 in every class, BGRD/HAG middle, PS last.
+
+Thin spec + render pair over the ``fig12`` sweep spec (class x
+algorithm; Dysim gets extra samples because the dense little class
+graphs make the MC oracle noisy).
 """
 
-from repro.data import build_course_classes
-from repro.eval.harness import evaluate_group, run_algorithm
-from repro.eval.reporting import format_table
+from repro.sweep.specs import FIG12_ALGORITHMS
 
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG12_DYSIM_SAMPLES,
-    SMOKE,
-    record_figure,
-)
-
-ALGORITHMS = ("Dysim", "BGRD", "HAG", "PS")
-
-
-def _run_study():
-    classes = build_course_classes(budget=50.0, n_promotions=3)
-    table: dict[str, dict[str, float]] = {}
-    for class_id, instance in classes.items():
-        table[class_id] = {}
-        for name in ALGORITHMS:
-            # The dense little class graphs are near-critical, so the
-            # MC oracle is noisy; Dysim gets a few more samples (the
-            # classes are tiny, this stays cheap).
-            n_samples = (
-                FIG12_DYSIM_SAMPLES if name == "Dysim" else ALGO_SAMPLES
-            )
-            result = run_algorithm(
-                name, instance, n_samples=n_samples, seed=0
-            )
-            # Course importance is 1, so sigma literally counts
-            # student-course selections (the figure's y-axis).
-            table[class_id][name] = evaluate_group(
-                instance, result.seed_group, n_samples=EVAL_SAMPLES
-            )
-    return table
+from benchmarks.conftest import SMOKE, render_figures, run_spec
 
 
 def test_fig12_course_study(benchmark):
-    table = benchmark.pedantic(_run_study, rounds=1, iterations=1)
-    rows = [
-        [class_id] + [f"{table[class_id][name]:.1f}" for name in ALGORITHMS]
-        for class_id in sorted(table)
-    ]
-    record_figure(
-        "fig12_course_study",
-        format_table(["class"] + list(ALGORITHMS), rows),
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("fig12",), rounds=1, iterations=1
     )
+    render_figures(spec)
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        table.setdefault(row.params["class_id"], {})[
+            row.params["algorithm"]
+        ] = row.payload["sigma"]
     # Shape: Dysim leads (or ties within noise) in most classes.  The
     # paper reports 5/5 wins; at reproduction scale PS's deterministic
     # path scores are unusually strong on the dense class graphs
@@ -63,7 +34,7 @@ def test_fig12_course_study(benchmark):
         1
         for class_id in table
         if table[class_id]["Dysim"]
-        >= max(table[class_id][n] for n in ALGORITHMS) * 0.75
+        >= max(table[class_id][n] for n in FIG12_ALGORITHMS) * 0.75
     )
     # Smoke mode cuts replication counts, so the shape check drops to
     # a sanity bound; the full run keeps the paper's majority demand.

@@ -3,55 +3,23 @@
 Paper setup: sigma of Dysim with 1, 2 or 3 (complementary) meta-graphs
 on all four datasets at b=100, T=3.  Expected shape: more meta-graphs
 capture perceptions better and raise the influence spread.
+
+Thin spec + render pair over the ``fig13_<dataset>`` sweep specs.
 """
 
 import pytest
 
-from repro.data import load_dataset
-from repro.eval.harness import evaluate_group, run_algorithm
-from repro.eval.reporting import format_table
+from repro.sweep.specs import FIG13_DATASETS
 
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG9_SCALES,
-    record_figure,
-)
+from benchmarks.conftest import render_figures, run_spec
 
 
-def _run_metagraph_sweep(dataset):
-    values = {}
-    for n_meta in (1, 2, 3):
-        instance = load_dataset(
-            dataset,
-            scale=FIG9_SCALES.get(dataset, 0.5),
-            budget=100.0,
-            n_promotions=3,
-            n_meta_complementary=n_meta,
-        )
-        result = run_algorithm(
-            "Dysim",
-            instance,
-            n_samples=ALGO_SAMPLES,
-            candidate_pool=40,
-        )
-        values[n_meta] = evaluate_group(
-            instance, result.seed_group, n_samples=EVAL_SAMPLES
-        )
-    return values
-
-
-@pytest.mark.parametrize(
-    "dataset", ["yelp", "gowalla", "amazon", "douban"]
-)
+@pytest.mark.parametrize("dataset", list(FIG13_DATASETS))
 def test_fig13_metagraph_sensitivity(benchmark, dataset):
-    values = benchmark.pedantic(
-        _run_metagraph_sweep, args=(dataset,), rounds=1, iterations=1
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(f"fig13_{dataset}",), rounds=1, iterations=1
     )
-    rows = [[k, f"{v:.1f}"] for k, v in sorted(values.items())]
-    record_figure(
-        f"fig13_metagraphs_{dataset}",
-        format_table(["n_meta_graphs", "sigma"], rows),
-    )
+    render_figures(spec)
+    values = {row.params["n_meta"]: row.payload["sigma"] for row in rows}
     # Shape: 3 meta-graphs never collapse below the 1-meta-graph run.
     assert values[3] >= values[1] * 0.7

@@ -5,57 +5,22 @@ Expected shape: a mild interior optimum — very small theta groups too
 many markets (promotional durations starve), very large theta lets
 overlapping markets promote substitutable items to common users.
 
-Reproduction scale: theta in {0, 2, 5, 10} on Yelp and Amazon at
-b=100, T=10.
+Thin spec + render pair over the ``fig14_yelp`` / ``fig14_amazon``
+sweep specs (theta in {0, 2, 5, 10} at b=400, T=10).
 """
 
 import pytest
 
-from repro.eval.harness import evaluate_group, run_algorithm
-from repro.eval.reporting import format_table
-
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG9_COST_SCALE,
-    record_figure,
-)
-
-THETAS = (0, 2, 5, 10)
-
-
-def _run_theta_sweep(dataset_cache, dataset):
-    instance = dataset_cache(
-        dataset, budget=400.0, n_promotions=10, cost_scale=FIG9_COST_SCALE
-    )
-    values = {}
-    for theta in THETAS:
-        result = run_algorithm(
-            "Dysim",
-            instance,
-            n_samples=ALGO_SAMPLES,
-            candidate_pool=40,
-            theta=theta,
-            use_fallbacks=False,
-        )
-        values[theta] = evaluate_group(
-            instance, result.seed_group, n_samples=EVAL_SAMPLES
-        )
-    return values
+from benchmarks.conftest import render_figures, run_spec
 
 
 @pytest.mark.parametrize("dataset", ["yelp", "amazon"])
-def test_fig14_theta_sensitivity(benchmark, dataset_cache, dataset):
-    values = benchmark.pedantic(
-        _run_theta_sweep, args=(dataset_cache, dataset),
-        rounds=1, iterations=1,
+def test_fig14_theta_sensitivity(benchmark, dataset):
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(f"fig14_{dataset}",), rounds=1, iterations=1
     )
-    rows = [[theta, f"{sigma:.1f}"] for theta, sigma in sorted(values.items())]
-    record_figure(
-        f"fig14_theta_{dataset}",
-        format_table(["theta", "sigma"], rows),
-    )
+    render_figures(spec)
     # Shape: theta only perturbs sigma mildly (Fig. 14 curves are flat
     # to within ~20% in the paper).
-    sigmas = list(values.values())
+    sigmas = [row.payload["sigma"] for row in rows]
     assert min(sigmas) >= max(sigmas) * 0.5

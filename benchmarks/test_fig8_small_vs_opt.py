@@ -3,57 +3,23 @@
 Paper setup: 100-user Amazon samples; (a) sigma vs budget
 b in {50, 75, 100, 125} at T=2; (b) sigma vs T in {1, 2, 3} at b=100.
 Expected shape: Dysim closest to OPT, all baselines below.
+
+Thin spec + render pair over the ``fig8a`` / ``fig8b`` sweep specs
+(see repro.sweep.specs for the parameter space).
 """
 
+from repro.sweep.specs import FIG8_BUDGETS, FIG8_PROMOTIONS
 
-from repro.data import load_dataset
-from repro.eval.harness import sweep
-from repro.eval.reporting import format_series
-
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FIG8_BUDGETS,
-    FIG8_PROMOTIONS,
-    record_figure,
-)
-
-ALGORITHMS = ["OPT", "Dysim", "BGRD", "HAG", "PS", "DRHGA"]
-KWARGS = {
-    "OPT": {"universe_size": 8, "max_seeds": 4, "n_samples": 6},
-    "Dysim": {"candidate_pool": 40},
-    "BGRD": {"candidate_users": 25},
-    "HAG": {"candidate_pairs": 40},
-    "DRHGA": {"candidate_users": 20, "users_per_item": 2},
-}
-
-
-def _best_by(rows, algorithm):
-    return {r.x: r.sigma for r in rows if r.algorithm == algorithm}
+from benchmarks.conftest import render_figures, run_spec, series
 
 
 def test_fig8a_sigma_vs_budget(benchmark):
-    instances = {
-        budget: load_dataset("amazon-small", budget=budget, n_promotions=2)
-        for budget in FIG8_BUDGETS
-    }
-    rows = benchmark.pedantic(
-        sweep,
-        args=(instances, ALGORITHMS),
-        kwargs=dict(
-            n_samples=ALGO_SAMPLES,
-            eval_samples=EVAL_SAMPLES,
-            algorithm_kwargs=KWARGS,
-        ),
-        rounds=1,
-        iterations=1,
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("fig8a",), rounds=1, iterations=1
     )
-    record_figure(
-        "fig8a_small_vs_opt_budget",
-        format_series("Fig 8(a) sigma, amazon-small, T=2", "b", rows),
-    )
-    opt = _best_by(rows, "OPT")
-    dysim = _best_by(rows, "Dysim")
+    render_figures(spec)
+    opt = series(rows, "OPT", "budget")
+    dysim = series(rows, "Dysim", "budget")
     for budget in FIG8_BUDGETS:
         # OPT's bounded search and MC noise allow small inversions, but
         # Dysim must stay in OPT's neighbourhood (paper: "closest").
@@ -61,28 +27,14 @@ def test_fig8a_sigma_vs_budget(benchmark):
 
 
 def test_fig8b_sigma_vs_promotions(benchmark):
-    instances = {
-        t: load_dataset("amazon-small", budget=100.0, n_promotions=t)
-        for t in FIG8_PROMOTIONS
-    }
-    rows = benchmark.pedantic(
-        sweep,
-        args=(instances, ALGORITHMS),
-        kwargs=dict(
-            n_samples=ALGO_SAMPLES,
-            eval_samples=EVAL_SAMPLES,
-            algorithm_kwargs=KWARGS,
-        ),
-        rounds=1,
-        iterations=1,
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("fig8b",), rounds=1, iterations=1
     )
-    record_figure(
-        "fig8b_small_vs_opt_promotions",
-        format_series("Fig 8(b) sigma, amazon-small, b=100", "T", rows),
-    )
-    dysim = _best_by(rows, "Dysim")
+    render_figures(spec)
+    dysim = series(rows, "Dysim", "n_promotions")
     baselines = [
-        _best_by(rows, name) for name in ("BGRD", "HAG", "PS", "DRHGA")
+        series(rows, name, "n_promotions")
+        for name in ("BGRD", "HAG", "PS", "DRHGA")
     ]
     # At the largest T, Dysim leads every baseline (Fig. 8(b) shape).
     t_max = max(FIG8_PROMOTIONS)

@@ -2,169 +2,62 @@
 
 Paper setup (Sec. VI-B): sigma vs budget at T=10 on Yelp/Amazon/Douban
 (9a-9c; HAG excluded from Douban for runtime, as in the paper), sigma
-vs number of promotions at b=500 on Yelp/Amazon (9e-9f).  Expected
-shape: Dysim largest everywhere with the gap growing in T; baselines
-flatten for large T.
+vs number of promotions at b=500 on Yelp/Amazon (9e-9f), Dysim runtime
+across all four datasets (9h).  Expected shape: Dysim largest
+everywhere with the gap growing in T; baselines flatten for large T.
 
-Reproduction scale: budgets {100, 300, 500} with cost_scale=4, T up to
-20, datasets at the scales in ``FIG9_SCALES`` (see EXPERIMENTS.md).
+Thin spec + render pairs over the ``fig9a``..``fig9h`` sweep specs;
+the timing companions 9(d) and 9(g) render from the same stored rows
+as their sigma figures.
 """
 
 import pytest
 
-from repro.eval.harness import sweep
-from repro.eval.reporting import format_series
+from repro.sweep.specs import FIG9_BUDGETS, FIG9_PROMOTIONS
 
-from benchmarks.conftest import (
-    ALGO_SAMPLES,
-    EVAL_SAMPLES,
-    FAST_KWARGS,
-    FIG9_BUDGETS,
-    FIG9_COST_SCALE,
-    FIG9_PROMOTIONS,
-    FIG9_T,
-    record_figure,
-)
+from benchmarks.conftest import render_figures, run_spec, series
 
 BASELINES = ["BGRD", "HAG", "PS", "DRHGA"]
 
 
-def _series(rows, algorithm):
-    return {r.x: r.sigma for r in rows if r.algorithm == algorithm}
-
-
-def _run_budget_sweep(dataset_cache, name, algorithms):
-    instances = {
-        budget: dataset_cache(
-            name,
-            budget=budget,
-            n_promotions=FIG9_T,
-            cost_scale=FIG9_COST_SCALE,
-        )
-        for budget in FIG9_BUDGETS
-    }
-    return sweep(
-        instances,
-        algorithms,
-        n_samples=ALGO_SAMPLES,
-        eval_samples=EVAL_SAMPLES,
-        algorithm_kwargs=FAST_KWARGS,
-    )
-
-
 @pytest.mark.parametrize(
-    "figure,dataset,algorithms",
+    "spec_name,algorithms",
     [
-        ("fig9a_sigma_budget_yelp", "yelp", ["Dysim"] + BASELINES),
-        ("fig9b_sigma_budget_amazon", "amazon", ["Dysim"] + BASELINES),
+        ("fig9a", ["Dysim"] + BASELINES),
+        ("fig9b", ["Dysim"] + BASELINES),
         # 9(c): HAG excluded (paper: > 12h on Douban).
-        ("fig9c_sigma_budget_douban", "douban",
-         ["Dysim", "BGRD", "PS", "DRHGA"]),
+        ("fig9c", ["Dysim", "BGRD", "PS", "DRHGA"]),
     ],
 )
-def test_fig9_budget_sweeps(benchmark, dataset_cache, figure, dataset, algorithms):
-    rows = benchmark.pedantic(
-        _run_budget_sweep,
-        args=(dataset_cache, dataset, algorithms),
-        rounds=1,
-        iterations=1,
+def test_fig9_budget_sweeps(benchmark, spec_name, algorithms):
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(spec_name,), rounds=1, iterations=1
     )
-    record_figure(
-        figure,
-        format_series(
-            f"Fig 9 sigma, {dataset}, T={FIG9_T}", "b", rows
-        ),
-    )
-    if figure == "fig9b_sigma_budget_amazon":
-        time_rows = format_series(
-            f"Fig 9(d) time (s), amazon, T={FIG9_T}", "b", rows,
-            value_attr="runtime_seconds",
-        )
-        record_figure("fig9d_time_budget_amazon", time_rows)
-    dysim = _series(rows, "Dysim")
+    render_figures(spec)
+    dysim = series(rows, "Dysim", "budget")
     for name in algorithms[1:]:
-        baseline = _series(rows, name)
+        baseline = series(rows, name, "budget")
         # Dysim wins at the largest budget (Fig. 9(a)-(c) shape).
         b_max = max(FIG9_BUDGETS)
         assert dysim[b_max] >= baseline[b_max] * 0.9
 
 
-def _run_promotion_sweep(dataset_cache, name):
-    instances = {
-        t: dataset_cache(
-            name,
-            budget=max(FIG9_BUDGETS),
-            n_promotions=t,
-            cost_scale=FIG9_COST_SCALE,
-        )
-        for t in FIG9_PROMOTIONS
-    }
-    return sweep(
-        instances,
-        ["Dysim"] + BASELINES,
-        n_samples=ALGO_SAMPLES,
-        eval_samples=EVAL_SAMPLES,
-        algorithm_kwargs=FAST_KWARGS,
+@pytest.mark.parametrize("spec_name", ["fig9e", "fig9f"])
+def test_fig9_promotion_sweeps(benchmark, spec_name):
+    spec, rows = benchmark.pedantic(
+        run_spec, args=(spec_name,), rounds=1, iterations=1
     )
-
-
-@pytest.mark.parametrize(
-    "figure,dataset",
-    [
-        ("fig9e_sigma_promotions_yelp", "yelp"),
-        ("fig9f_sigma_promotions_amazon", "amazon"),
-    ],
-)
-def test_fig9_promotion_sweeps(benchmark, dataset_cache, figure, dataset):
-    rows = benchmark.pedantic(
-        _run_promotion_sweep,
-        args=(dataset_cache, dataset),
-        rounds=1,
-        iterations=1,
-    )
-    record_figure(
-        figure,
-        format_series(
-            f"Fig 9 sigma, {dataset}, b={max(FIG9_BUDGETS):.0f}", "T", rows
-        ),
-    )
-    if figure == "fig9f_sigma_promotions_amazon":
-        record_figure(
-            "fig9g_time_promotions_amazon",
-            format_series(
-                "Fig 9(g) time (s), amazon, b=500", "T", rows,
-                value_attr="runtime_seconds",
-            ),
-        )
-    dysim = _series(rows, "Dysim")
+    render_figures(spec)
+    dysim = series(rows, "Dysim", "n_promotions")
     t_max = max(FIG9_PROMOTIONS)
     for name in BASELINES:
-        assert dysim[t_max] >= _series(rows, name)[t_max] * 0.9
+        assert dysim[t_max] >= series(rows, name, "n_promotions")[t_max] * 0.9
 
 
-def test_fig9h_scalability(benchmark, dataset_cache):
+def test_fig9h_scalability(benchmark):
     """Fig. 9(h): Dysim runtime across all four datasets."""
-    from repro.eval.harness import run_algorithm
-
-    def run_all():
-        results = {}
-        for name in ("yelp", "gowalla", "amazon", "douban"):
-            instance = dataset_cache(
-                name,
-                budget=max(FIG9_BUDGETS),
-                n_promotions=FIG9_T,
-                cost_scale=FIG9_COST_SCALE,
-            )
-            result = run_algorithm(
-                "Dysim", instance, n_samples=ALGO_SAMPLES,
-                **FAST_KWARGS["Dysim"],
-            )
-            results[name] = (instance.n_users, result.runtime_seconds)
-        return results
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    lines = ["dataset  n_users  dysim_seconds"]
-    for name, (n_users, seconds) in results.items():
-        lines.append(f"{name:8s} {n_users:7d} {seconds:10.2f}")
-    record_figure("fig9h_scalability", "\n".join(lines))
-    assert all(seconds > 0 for _, seconds in results.values())
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("fig9h",), rounds=1, iterations=1
+    )
+    render_figures(spec)
+    assert all(row.payload["runtime_seconds"] > 0 for row in rows)

@@ -31,7 +31,7 @@ from repro.data import load_dataset
 from repro.eval.reporting import format_table
 from repro.utils.rng import spawn_rng
 
-from benchmarks.conftest import SMOKE, _env_int, record_figure
+from benchmarks.conftest import SMOKE, _env_int, record_bench, record_figure
 
 FRONTIER_SCALE = _env_int("REPRO_BENCH_FRONTIER_SCALE", 8 if SMOKE else 25)
 FRONTIER_SAMPLES = _env_int("REPRO_BENCH_FRONTIER_SAMPLES", 12)
@@ -100,6 +100,10 @@ def test_frontier_scaling():
         format_table(["kernel", "ms_per_realization", "speedup"], rows)
         + "\n"
         + footer,
+    )
+    record_bench(
+        "frontier_scaling", fast_seconds * 1e3, speedup,
+        scale=FRONTIER_SCALE, samples=FRONTIER_SAMPLES,
     )
 
     # Bit identity: same substreams, same realizations, both kernels.

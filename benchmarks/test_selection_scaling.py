@@ -31,7 +31,7 @@ from repro.core.selection import CoverageGainOracle
 from repro.sketch import CoverageEvaluator, RealizationBank
 from repro.eval.reporting import format_table
 
-from benchmarks.conftest import SMOKE, _env_int, record_figure
+from benchmarks.conftest import SMOKE, _env_int, record_bench, record_figure
 
 SELECTION_WORLDS = _env_int("REPRO_BENCH_SELECTION_WORLDS", 12)
 SELECTION_POOL = _env_int("REPRO_BENCH_SELECTION_POOL", 150)
@@ -119,6 +119,11 @@ def test_selection_scaling(dataset_cache):
         )
         + "\n"
         + footer,
+    )
+    record_bench(
+        "selection_scaling", batched_seconds * 1e3, speedup,
+        worlds=SELECTION_WORLDS, pool=len(universe),
+        rounds=SELECTION_ROUNDS,
     )
 
     # Both kernels are the same function — identical picks and value.

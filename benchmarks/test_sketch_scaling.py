@@ -25,7 +25,7 @@ from repro.sketch import SketchSigmaEstimator
 from repro.eval.reporting import format_table
 from repro.utils.rng import RngFactory
 
-from benchmarks.conftest import _env_int, record_figure
+from benchmarks.conftest import _env_int, record_bench, record_figure
 
 SKETCH_SAMPLES = _env_int("REPRO_BENCH_SKETCH_SAMPLES", 12)
 SKETCH_POOL = _env_int("REPRO_BENCH_SKETCH_POOL", 150)
@@ -86,6 +86,10 @@ def test_sketch_selection_speedup(dataset_cache):
     )
     record_figure(
         "sketch_scaling", format_table(headers, rows) + "\n" + footer
+    )
+    record_bench(
+        "sketch_scaling", sketch_seconds * 1e3, speedup,
+        samples=SKETCH_SAMPLES, pool=SKETCH_POOL,
     )
 
     # Both oracles must produce meaningful, budget-feasible selections.

@@ -1,48 +1,21 @@
 """Table II — statistics of the four dataset analogues.
 
 Regenerates the paper's dataset-statistics table for the synthetic
-analogues (scaled ~1/1000; see DESIGN.md §4).  The benchmark measures
-dataset construction time (KG + network + relevance precomputation).
+analogues (scaled ~1/1000; see DESIGN.md §4) as a thin spec + render
+pair over the ``table2`` sweep spec, whose ``stats`` pseudo-algorithm
+stores the full statistics row per dataset.
 """
 
-from repro.data import dataset_statistics, load_dataset
-from repro.eval.reporting import format_table
-
-from benchmarks.conftest import record_figure
-
-COLUMNS = (
-    "dataset",
-    "n_node_types",
-    "n_nodes",
-    "n_users",
-    "n_items",
-    "n_edge_types",
-    "n_edges",
-    "n_friendships",
-    "directed_friendship",
-    "avg_initial_influence",
-    "avg_item_importance",
-)
-
-
-def build_all():
-    return {
-        name: load_dataset(name)
-        for name in ("douban", "gowalla", "yelp", "amazon")
-    }
+from benchmarks.conftest import render_figures, run_spec
 
 
 def test_table2_dataset_statistics(benchmark):
-    instances = benchmark.pedantic(build_all, rounds=1, iterations=1)
-    rows = []
-    for name, instance in instances.items():
-        stats = dataset_statistics(instance)
-        rows.append([stats[c] for c in COLUMNS])
-    record_figure(
-        "table2_datasets", format_table(list(COLUMNS), rows)
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("table2",), rounds=1, iterations=1
     )
+    render_figures(spec)
+    stats = {row.params["dataset"]: row.payload["stats"] for row in rows}
     # Table II structural signatures that must survive the scaling.
-    stats = {n: dataset_statistics(i) for n, i in instances.items()}
     assert stats["amazon"]["directed_friendship"]
     assert not stats["yelp"]["directed_friendship"]
     # Yelp has the strongest ties, Douban the weakest (Table II row).

@@ -1,37 +1,20 @@
 """Table III — statistics of the recruited course classes.
 
 Regenerates the class-size table of the empirical study (Sec. VI-E)
-from the synthetic course-selection scenario, which reuses the
-published user and edge counts exactly.
+from the synthetic course-selection scenario — which reuses the
+published user and edge counts exactly — as a thin spec + render pair
+over the ``table3`` sweep spec.
 """
 
-from repro.data import build_course_classes
-from repro.data.courses import COURSE_CLASSES
-from repro.eval.reporting import format_table
-
-from benchmarks.conftest import record_figure
+from benchmarks.conftest import render_figures, run_spec
 
 
 def test_table3_class_statistics(benchmark):
-    classes = benchmark.pedantic(
-        build_course_classes, rounds=1, iterations=1
+    spec, rows = benchmark.pedantic(
+        run_spec, args=("table3",), rounds=1, iterations=1
     )
-    rows = []
-    for spec in COURSE_CLASSES:
-        instance = classes[spec.class_id]
-        rows.append(
-            [
-                spec.class_id,
-                instance.n_users,
-                instance.network.n_arcs,
-                instance.n_items,
-            ]
-        )
-    record_figure(
-        "table3_classes",
-        format_table(["class", "n_users", "n_edges", "n_courses"], rows),
-    )
+    render_figures(spec)
     # Table III row checks: published class sizes.
-    assert [r[1] for r in rows] == [33, 26, 22, 20, 20]
-    for instance in classes.values():
-        assert instance.n_items == 30
+    assert [row.payload["n_users"] for row in rows] == [33, 26, 22, 20, 20]
+    for row in rows:
+        assert row.payload["n_items"] == 30

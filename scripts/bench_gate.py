@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Perf regression gate over BENCH_v*.json snapshots.
+
+Compares a candidate snapshot (fresh benchmark run) against the
+committed baseline and fails if any *tracked* scaling series lost more
+than the allowed factor of its speedup, or disappeared entirely.
+
+The gate compares **speedups** (kernel vs in-repo reference on the
+same machine, same run), not absolute milliseconds: wall-clock does
+not transfer between runners, but a packed kernel that is 40x faster
+than the scalar reference on one machine being only 5x faster on
+another is a code regression, not noise.  ``engine_scaling`` is
+deliberately untracked (pool-vs-serial depends on core count).
+
+Usage::
+
+    python scripts/bench_gate.py BASELINE CANDIDATE [--max-loss 2.0]
+
+Exit status: 0 pass, 1 regression, 2 bad input.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        document = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench_gate: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if "series" not in document or "tracked" not in document:
+        print(
+            f"bench_gate: {path} is not a BENCH_v*.json snapshot",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return document
+
+
+def compare(baseline: dict, candidate: dict, max_loss: float) -> list[str]:
+    """Human-readable regression list (empty == gate passes)."""
+    failures = []
+    for name in baseline["tracked"]:
+        base = baseline["series"].get(name)
+        cand = candidate["series"].get(name)
+        if base is None:
+            continue  # tracked but never measured in the baseline
+        if cand is None:
+            failures.append(
+                f"{name}: tracked series missing from candidate"
+            )
+            continue
+        base_speedup = float(base["speedup"])
+        cand_speedup = float(cand["speedup"])
+        if cand_speedup <= 0:
+            failures.append(f"{name}: candidate speedup {cand_speedup}")
+            continue
+        loss = base_speedup / cand_speedup
+        if loss > max_loss:
+            failures.append(
+                f"{name}: speedup {base_speedup:.2f}x -> "
+                f"{cand_speedup:.2f}x ({loss:.2f}x loss > "
+                f"{max_loss:.2f}x allowed)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_v*.json")
+    parser.add_argument("candidate", help="freshly emitted BENCH_v*.json")
+    parser.add_argument(
+        "--max-loss",
+        type=float,
+        default=2.0,
+        help="maximum allowed baseline/candidate speedup ratio "
+        "(default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    failures = compare(baseline, candidate, args.max_loss)
+    for name in baseline["tracked"]:
+        base = baseline["series"].get(name, {})
+        cand = candidate["series"].get(name, {})
+        print(
+            f"bench_gate: {name}: baseline "
+            f"{base.get('speedup', 'n/a')}x, candidate "
+            f"{cand.get('speedup', 'n/a')}x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"bench_gate: REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print("bench_gate: all tracked series within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

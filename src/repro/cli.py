@@ -31,6 +31,21 @@ worlds in one bit-parallel multi-world BFS; ``per-world`` runs the
 original one-BFS-per-world loop, retained as the bit-identity
 reference.  Stacks, selections and sigma values are identical either
 way — only wall-clock differs.
+
+``sweep`` drives declarative experiment campaigns (``repro.sweep``)::
+
+    repro sweep run --spec fig9h        # run pending (config, seed) runs
+    repro sweep run --spec fig9h        # resumed: zero new runs
+    repro sweep status                  # store row counts per spec
+    repro sweep render fig9h            # regenerate the txt artifact(s)
+    repro sweep bench --out benchmarks/results/BENCH_v6.json
+
+``run`` is resumable: results are keyed by (config hash, seed-stream)
+in an append-only store (default ``benchmarks/results/store/``), so an
+interrupted campaign continues where it stopped and a completed one
+re-runs nothing.  ``render`` regenerates paper figure/table artifacts
+from the store alone; ``bench`` snapshots the recorded scaling
+trajectory into a machine-readable ``BENCH_v<N>.json``.
 """
 
 from __future__ import annotations
@@ -84,7 +99,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithms to leave out (OPT by default; it is slow)",
     )
     _add_backend_args(compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="declarative experiment campaigns (repro.sweep)"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run a spec's pending (config, seed) runs (resumable)"
+    )
+    sweep_run.add_argument(
+        "--spec", action="append", required=True, dest="specs",
+        metavar="NAME",
+        help="spec name (repeatable); see `repro sweep status` for names",
+    )
+    sweep_run.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-run tombstoned (failed) runs as well as missing ones",
+    )
+    _add_store_args(sweep_run)
+    # Only the fan-out knobs: per-run oracle/kernel/batch choices are
+    # part of each spec's config (they key the store rows).
+    sweep_run.add_argument(
+        "--backend", default="serial", choices=sorted(BACKEND_NAMES),
+        help="backend the pending runs fan out through",
+    )
+    sweep_run.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker count for thread/process sweep fan-out",
+    )
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="declared/stored/failed run counts per spec"
+    )
+    sweep_status.add_argument(
+        "--spec", action="append", dest="specs", metavar="NAME",
+        help="restrict to these specs (default: all builtin specs)",
+    )
+    _add_store_args(sweep_status)
+
+    sweep_render = sweep_sub.add_parser(
+        "render",
+        help="regenerate figure/table txt artifacts from the store",
+    )
+    sweep_render.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="spec or artifact names (e.g. fig9h, table2_datasets)",
+    )
+    sweep_render.add_argument(
+        "--out-dir", default="benchmarks/results",
+        help="directory the <artifact>.txt files are written to",
+    )
+    _add_store_args(sweep_render)
+
+    sweep_bench = sweep_sub.add_parser(
+        "bench",
+        help="snapshot the recorded scaling trajectory to BENCH_v<N>.json",
+    )
+    sweep_bench.add_argument(
+        "--out", default=None,
+        help="output path (default benchmarks/results/BENCH_v<N>.json)",
+    )
+    sweep_bench.add_argument(
+        "--bench-version", type=_positive_int, default=None,
+        help="snapshot version number (default: the current one)",
+    )
+    _add_store_args(sweep_bench)
     return parser
+
+
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default="benchmarks/results/store",
+        help="result-store directory (one JSON-lines file per spec)",
+    )
 
 
 def _add_backend_args(parser: argparse.ArgumentParser) -> None:
@@ -217,6 +305,87 @@ def _command_compare(args) -> int:
     return 0
 
 
+def _command_sweep(args) -> int:
+    from repro.errors import SweepError
+    from repro.sweep import (
+        ResultStore,
+        emit_bench,
+        get_spec,
+        run_sweep,
+        scale_from_env,
+        spec_names,
+        write_artifacts,
+    )
+
+    store = ResultStore(args.store)
+    scale = scale_from_env()
+
+    if args.sweep_command == "run":
+        failed = 0
+        for name in args.specs:
+            spec = get_spec(name, scale=scale)
+            report = run_sweep(
+                spec,
+                store,
+                backend=args.backend,
+                workers=args.workers,
+                retry_failed=args.retry_failed,
+                log=print,
+            )
+            failed += report.n_failed
+        return 1 if failed else 0
+
+    if args.sweep_command == "status":
+        names = args.specs or list(spec_names())
+        rows = []
+        for name in names:
+            spec = get_spec(name, scale=scale)
+            declared = len(spec.run_keys())
+            status = store.status(spec.name)
+            rows.append([
+                spec.name, declared, status.n_ok, status.n_failed,
+                max(0, declared - status.n_rows), status.n_superseded,
+            ])
+        print(format_table(
+            ["spec", "declared", "ok", "failed", "pending", "superseded"],
+            rows,
+        ))
+        return 0
+
+    if args.sweep_command == "render":
+        exit_code = 0
+        for name in args.specs:
+            spec = get_spec(name, scale=scale)
+            try:
+                paths = write_artifacts(spec, store, args.out_dir)
+            except SweepError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
+            for artifact, path in paths.items():
+                print(f"{spec.name}: wrote {path}")
+        return exit_code
+
+    if args.sweep_command == "bench":
+        from repro.sweep import BENCH_VERSION
+
+        version = args.bench_version or BENCH_VERSION
+        out = args.out or f"benchmarks/results/BENCH_v{version}.json"
+        try:
+            document = emit_bench(store, out, version=version)
+        except SweepError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        tracked = ", ".join(document["tracked"]) or "(none)"
+        print(
+            f"wrote {out}: {len(document['series'])} series, "
+            f"tracked: {tracked}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled sweep verb {args.sweep_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -224,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _command_stats,
         "run": _command_run,
         "compare": _command_compare,
+        "sweep": _command_sweep,
     }
     return handlers[args.command](args)
 

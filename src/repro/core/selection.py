@@ -49,6 +49,25 @@ reference (:class:`~repro.sketch.greedy.CoverageEvaluator`) computes
 the same ``(counts per item) @ importance`` contraction, which is what
 makes batched packed gains *bit-identical* to the scalar reference,
 not merely approximately equal.
+
+Public knobs
+------------
+``gain_batch``
+    How many stale CELF heap entries :func:`mcp_lazy_greedy`
+    re-evaluates per oracle call (default ``DEFAULT_GAIN_BATCH``).
+    Purely a throughput knob — batching is a prefetch, so any value
+    produces the identical selection.  Set per call (the ``gain_batch``
+    keyword on ``run_dysim`` / ``DysimConfig`` / sweep
+    ``algorithm_kwargs``) or process-wide via
+    :func:`set_default_gain_batch` (CLI ``--gain-batch``).
+``prefetch_limit``
+    Oracle *attribute* capping how many entries a batch may prefetch:
+    ``None`` means "no cap" (cheap oracles — coverage over a bank),
+    ``1`` degenerates to the scalar CELF loop.
+    :class:`MonteCarloGainOracle` derives it from its backend's worker
+    count, so a process pool prefetches one candidate per worker and a
+    serial backend never wastes a speculative sigma estimate.  Custom
+    oracles opt in by exposing the attribute; absent means uncapped.
 """
 
 from __future__ import annotations

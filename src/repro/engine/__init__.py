@@ -33,6 +33,7 @@ from repro.engine.backends import (
     get_default_backend,
     resolve_backend,
     set_default_backend,
+    worker_chunks,
 )
 from repro.engine.cache import CacheStats, SigmaCache
 from repro.engine.replication import (
@@ -59,4 +60,5 @@ __all__ = [
     "resolve_backend",
     "run_chunk",
     "set_default_backend",
+    "worker_chunks",
 ]

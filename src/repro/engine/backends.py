@@ -46,7 +46,36 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "get_default_backend",
+    "worker_chunks",
 ]
+
+
+def worker_chunks(
+    n_items: int, backend: "ExecutionBackend | None" = None
+) -> list[list[int]]:
+    """Balanced contiguous index chunks, one per available worker.
+
+    The coarse-grained sibling of
+    :func:`~repro.engine.replication.chunk_indices`: instead of a fixed
+    chunk *size* it splits ``n_items`` into at most ``backend.workers``
+    contiguous chunks (serial backends expose no ``workers`` attribute
+    and get a single chunk), sized within one item of each other.  Used
+    by consumers whose work units are already coarse — sweep runs,
+    reachability source blocks — where one chunk per worker minimizes
+    pickling overhead while keeping the pool saturated.
+    """
+    if n_items <= 0:
+        return []
+    workers = getattr(backend, "workers", 1) or 1
+    n_chunks = max(1, min(int(workers), n_items))
+    quotient, remainder = divmod(n_items, n_chunks)
+    chunks: list[list[int]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = quotient + (1 if index < remainder else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
 
 
 @runtime_checkable

@@ -46,3 +46,8 @@ class DatasetError(ReproError):
 class SketchError(ReproError):
     """A reachability-sketch oracle was asked for something it cannot
     answer (non-frozen dynamics, unsupported trigger model, ...)."""
+
+
+class SweepError(ReproError):
+    """A sweep spec, result store or renderer was asked for something
+    inconsistent (unhashable config, missing rows, unknown spec)."""

@@ -10,6 +10,11 @@ Every registered algorithm selects through the unified gain-oracle
 layer (:mod:`repro.core.selection`): pass selection knobs such as
 ``gain_batch`` or ``singleton_pool`` to :func:`run_dysim` via keyword
 overrides — batching is a prefetch, so results are invariant to it.
+
+The sweep layer (:mod:`repro.sweep`) drives :func:`run_algorithm` /
+:func:`evaluate_group` for every declared (config, seed) run and
+persists the outcomes; prefer declaring a spec over scripting this
+harness directly when the runs should land in the result store.
 """
 
 from __future__ import annotations

@@ -1,7 +1,10 @@
 """Plain-text rendering of figure series and tables.
 
 The benchmarks print the same rows/series the paper's figures plot;
-these helpers keep that output aligned and diffable.
+these helpers keep that output aligned and diffable.  They are also
+the formatting substrate of the sweep renderers
+(:mod:`repro.sweep.render`), which is what makes store-regenerated
+artifacts byte-identical to historically recorded ones.
 """
 
 from __future__ import annotations

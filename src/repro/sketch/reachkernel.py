@@ -28,6 +28,19 @@ Tail-word invariant
 zero in the source row (:attr:`WorldLayout.full_mask`), zero in every
 edge-liveness word (packing zero-pads), and AND-propagation can never
 set them — so popcount-style consumers never see phantom worlds.
+
+Public knobs
+------------
+``reach_kernel``
+    Which kernel banks use to answer reachability queries: ``packed``
+    (default, this module) or ``per-world`` (the reference loop).  The
+    two are bit-identical; ``per-world`` exists as the test oracle and
+    as an escape hatch on exotic numpy builds.  Select it per bank
+    (``RealizationBank(..., reach_kernel=...)``), per run (the
+    ``reach_kernel`` entry of a sweep config — the runner swaps the
+    default around the run so baselines inherit it too), or
+    process-wide via :func:`set_default_reach_kernel` (CLI
+    ``--reach-kernel``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,235 @@
+"""Regenerate figure/table txt artifacts from the result store alone.
+
+Each builtin spec has a renderer that turns its stored rows back into
+the exact plain-text artifact the benchmarks historically wrote under
+``benchmarks/results/`` — same titles, same column formats, byte-for-
+byte.  Rendering never runs anything: it is a pure function of the
+store, so any artifact can be regenerated on a machine that has the
+store but not the compute (``repro sweep render <spec>``).
+
+Rows are looked up in the spec's canonical expansion order, which is
+what pins algorithm/row ordering in the output; a missing or
+tombstoned row raises :class:`~repro.errors.SweepError` naming the
+runs to (re-)execute rather than rendering a partial figure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+from repro.errors import SweepError
+from repro.eval.harness import SweepRow
+from repro.eval.reporting import format_series, format_table
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultRow, ResultStore
+
+__all__ = ["render_spec", "write_artifacts"]
+
+
+def _rows_for(spec: SweepSpec, store: ResultStore) -> list[ResultRow]:
+    """Stored ok-rows in the spec's canonical expansion order."""
+    stored = {row.key: row for row in store.rows(spec.name)}
+    out: list[ResultRow] = []
+    missing: list[str] = []
+    failed: list[str] = []
+    for config, seed in spec.run_keys():
+        row = stored.get((config.config_hash, seed))
+        if row is None:
+            missing.append(f"{config.config_hash}/seed={seed}")
+        elif not row.ok:
+            failed.append(f"{config.config_hash}/seed={seed}")
+        else:
+            out.append(row)
+    if missing or failed:
+        raise SweepError(
+            f"spec {spec.name!r} cannot render: "
+            f"{len(missing)} runs missing, {len(failed)} tombstoned "
+            f"(run `repro sweep run --spec {spec.name}`"
+            f"{' --retry-failed' if failed else ''}); "
+            f"first affected: {(missing + failed)[:3]}"
+        )
+    return out
+
+
+def _sweep_rows(rows: list[ResultRow], x_key: str) -> list[SweepRow]:
+    return [
+        SweepRow(
+            algorithm=row.params["algorithm"],
+            x=row.params[x_key],
+            sigma=row.payload["sigma"],
+            runtime_seconds=row.payload["runtime_seconds"],
+            n_seeds=row.payload["n_seeds"],
+        )
+        for row in rows
+    ]
+
+
+def _series_artifact(title: str, x_label: str, x_key: str,
+                     value_attr: str = "sigma"):
+    def render(rows: list[ResultRow]) -> str:
+        return format_series(
+            title, x_label, _sweep_rows(rows, x_key), value_attr=value_attr
+        )
+
+    return render
+
+
+def _label_value_table(headers, label_keys: tuple[str, ...],
+                       label_format: Callable[[ResultRow], list] = None):
+    def render(rows: list[ResultRow]) -> str:
+        table = []
+        for row in rows:
+            labels = (label_format(row) if label_format
+                      else [row.params[k] for k in label_keys])
+            table.append([*labels, f"{row.payload['sigma']:.1f}"])
+        return format_table(headers, table)
+
+    return render
+
+
+def _render_fig9h(rows: list[ResultRow]) -> str:
+    lines = ["dataset  n_users  dysim_seconds"]
+    for row in rows:
+        lines.append(
+            f"{row.params['dataset']:8s} {row.payload['n_users']:7d} "
+            f"{row.payload['runtime_seconds']:10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _render_fig12(rows: list[ResultRow]) -> str:
+    from repro.sweep.specs import FIG12_ALGORITHMS
+
+    table: dict[str, dict[str, float]] = {}
+    for row in rows:
+        table.setdefault(row.params["class_id"], {})[
+            row.params["algorithm"]
+        ] = row.payload["sigma"]
+    out = [
+        [class_id]
+        + [f"{table[class_id][name]:.1f}" for name in FIG12_ALGORITHMS]
+        for class_id in sorted(table)
+    ]
+    return format_table(["class"] + list(FIG12_ALGORITHMS), out)
+
+
+def _render_table2(rows: list[ResultRow]) -> str:
+    columns = (
+        "dataset", "n_node_types", "n_nodes", "n_users", "n_items",
+        "n_edge_types", "n_edges", "n_friendships",
+        "directed_friendship", "avg_initial_influence",
+        "avg_item_importance",
+    )
+    table = [
+        [row.payload["stats"][column] for column in columns]
+        for row in rows
+    ]
+    return format_table(list(columns), table)
+
+
+def _render_table3(rows: list[ResultRow]) -> str:
+    table = [
+        [
+            row.params["dataset"].split("/", 1)[1],
+            row.payload["n_users"],
+            row.payload["n_arcs"],
+            row.payload["n_items"],
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["class", "n_users", "n_edges", "n_courses"], table
+    )
+
+
+def _artifact_renderers(spec: SweepSpec) -> dict[str, Callable]:
+    """artifact name -> renderer(rows) for one builtin spec."""
+    name = spec.name
+    if name in ("fig8a", "fig8b"):
+        dataset = "amazon-small"
+        if name == "fig8a":
+            return {spec.artifacts[0]: _series_artifact(
+                f"Fig 8(a) sigma, {dataset}, T=2", "b", "budget")}
+        return {spec.artifacts[0]: _series_artifact(
+            f"Fig 8(b) sigma, {dataset}, b=100", "T", "n_promotions")}
+    if name in ("fig9a", "fig9b", "fig9c"):
+        dataset = {"fig9a": "yelp", "fig9b": "amazon",
+                   "fig9c": "douban"}[name]
+        renderers = {spec.artifacts[0]: _series_artifact(
+            f"Fig 9 sigma, {dataset}, T=10", "b", "budget")}
+        if name == "fig9b":
+            renderers["fig9d_time_budget_amazon"] = _series_artifact(
+                "Fig 9(d) time (s), amazon, T=10", "b", "budget",
+                value_attr="runtime_seconds",
+            )
+        return renderers
+    if name in ("fig9e", "fig9f"):
+        dataset = {"fig9e": "yelp", "fig9f": "amazon"}[name]
+        renderers = {spec.artifacts[0]: _series_artifact(
+            f"Fig 9 sigma, {dataset}, b=500", "T", "n_promotions")}
+        if name == "fig9f":
+            renderers["fig9g_time_promotions_amazon"] = _series_artifact(
+                "Fig 9(g) time (s), amazon, b=500", "T", "n_promotions",
+                value_attr="runtime_seconds",
+            )
+        return renderers
+    if name == "fig9h":
+        return {"fig9h_scalability": _render_fig9h}
+    if name.startswith("fig10_"):
+        return {spec.artifacts[0]: _label_value_table(
+            ["setting", "variant", "sigma"], ("setting", "variant"))}
+    if name.startswith("fig11_"):
+        return {spec.artifacts[0]: _label_value_table(
+            ["setting", "order", "sigma"], (),
+            label_format=lambda row: [
+                f"b={row.params['budget']:.0f}", row.params["order"]
+            ],
+        )}
+    if name == "fig12":
+        return {"fig12_course_study": _render_fig12}
+    if name.startswith("fig13_"):
+        return {spec.artifacts[0]: _label_value_table(
+            ["n_meta_graphs", "sigma"], ("n_meta",))}
+    if name.startswith("fig14_"):
+        return {spec.artifacts[0]: _label_value_table(
+            ["theta", "sigma"], ("theta",))}
+    if name == "table2":
+        return {"table2_datasets": _render_table2}
+    if name == "table3":
+        return {"table3_classes": _render_table3}
+    raise SweepError(f"spec {spec.name!r} has no registered renderer")
+
+
+def render_spec(spec: SweepSpec, store: ResultStore) -> dict[str, str]:
+    """Render every artifact of ``spec`` from the store.
+
+    Returns ``{artifact name: text}``; raises if required rows are
+    missing or tombstoned.
+    """
+    rows = _rows_for(spec, store)
+    return {
+        artifact: renderer(rows)
+        for artifact, renderer in _artifact_renderers(spec).items()
+    }
+
+
+def write_artifacts(
+    spec: SweepSpec,
+    store: ResultStore,
+    results_dir: str | pathlib.Path,
+) -> dict[str, pathlib.Path]:
+    """Render and persist ``<artifact>.txt`` files; returns the paths.
+
+    Files are written exactly as the benchmarks' ``record_figure``
+    always has (text plus one trailing newline), so regenerated
+    artifacts are byte-compatible with historically recorded ones.
+    """
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    paths = {}
+    for artifact, text in render_spec(spec, store).items():
+        path = results_dir / f"{artifact}.txt"
+        path.write_text(text + "\n")
+        paths[artifact] = path
+    return paths

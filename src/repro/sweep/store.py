@@ -1,0 +1,227 @@
+"""Resumable, append-only result store for experiment campaigns.
+
+One JSON-lines file per spec under the store root (the repo default is
+``benchmarks/results/store/``).  Each line is one *row*: the outcome
+of running one ``(RunConfig, seed)`` pair — sigma / spread / timing /
+cache-counter payloads for successful runs, a **tombstone** (status
+``"failed"`` with the captured error) for runs that raised.  Rows are
+only ever appended; the reader resolves duplicates *last-wins*, so a
+re-run (e.g. ``--retry-failed``) supersedes an earlier row without
+rewriting history — the file remains the full trajectory.
+
+Invariants (DESIGN.md §7)
+-------------------------
+* **Append-only, atomic lines.**  A row is written with a single
+  ``os.write`` to a descriptor opened ``O_APPEND``, so concurrent
+  writers — parallel sweep workers, or two sweep processes on one
+  store — interleave whole lines, never fragments, for rows up to the
+  platform pipe-buffer size.  The reader additionally skips lines that
+  fail to parse, so even a torn line (power loss mid-write) degrades
+  to "that run is pending again", never to a corrupted store.
+* **Resume = rerun the spec.**  Presence of a row (ok *or* tombstone)
+  for ``(config_hash, seed)`` means the run is not pending; killing a
+  sweep and relaunching it recomputes only the missing rows.
+* **Schema-versioned.**  Rows carry ``schema_version``; readers ignore
+  rows from other schema versions (their hashes would not be
+  comparable anyway — the version participates in the config hash).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Iterable
+
+from repro.errors import SweepError
+from repro.sweep.spec import SCHEMA_VERSION
+
+__all__ = ["ResultRow", "ResultStore", "StoreStatus"]
+
+#: Row status markers.  ``ok`` rows carry a payload; ``failed`` rows
+#: are tombstones carrying the captured error instead.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class ResultRow:
+    """One (config, seed) outcome."""
+
+    spec: str
+    config_hash: str
+    seed: int
+    status: str
+    params: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+    error: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.config_hash, self.seed)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ResultRow":
+        data = json.loads(line)
+        return cls(
+            spec=data["spec"],
+            config_hash=data["config_hash"],
+            seed=int(data["seed"]),
+            status=data["status"],
+            params=data.get("params", {}),
+            payload=data.get("payload", {}),
+            error=data.get("error"),
+            schema_version=int(data.get("schema_version", 0)),
+        )
+
+
+@dataclass
+class StoreStatus:
+    """Row counts of one spec's store file."""
+
+    spec: str
+    n_ok: int
+    n_failed: int
+    n_superseded: int
+    n_skipped_lines: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.n_ok + self.n_failed
+
+
+class ResultStore:
+    """JSON-lines result store rooted at a directory."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+
+    def path(self, spec: str) -> pathlib.Path:
+        if not spec or "/" in spec or spec.startswith("."):
+            raise SweepError(f"invalid spec name {spec!r}")
+        return self.root / f"{spec}.jsonl"
+
+    def specs(self) -> list[str]:
+        """Spec names with at least one stored row file."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    # -- writing -----------------------------------------------------
+
+    def append(self, row: ResultRow) -> None:
+        """Atomically append one row (parallel-writer safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = (row.to_json() + "\n").encode("utf-8")
+        fd = os.open(
+            self.path(row.spec),
+            os.O_RDWR | os.O_APPEND | os.O_CREAT,
+            0o644,
+        )
+        try:
+            # A torn previous write (crash mid-append) leaves a partial
+            # line without its newline at EOF; terminating it first
+            # quarantines the damage to that one skipped line instead
+            # of gluing this row onto it.  Complete appends always end
+            # with a newline, so a concurrent writer cannot invalidate
+            # the check — at worst both prepend one, and blank lines
+            # are skipped by the reader.
+            size = os.fstat(fd).st_size
+            if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                line = b"\n" + line
+            # One write call: O_APPEND makes concurrent appends land
+            # whole (no interleaving) for lines within the platform's
+            # atomic-append window; rows are a few hundred bytes.
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def append_all(self, rows: Iterable[ResultRow]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -- reading -----------------------------------------------------
+
+    def _iter_lines(self, spec: str):
+        path = self.path(spec)
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield line
+
+    def raw_rows(self, spec: str) -> list[ResultRow]:
+        """Every parseable row in append order — the full trajectory.
+
+        Unlike :meth:`rows`, superseded rows are kept; consumers that
+        care about history (the BENCH perf-trajectory emitter) scan
+        this and pick by recency.
+        """
+        out = []
+        for line in self._iter_lines(spec):
+            try:
+                row = ResultRow.from_json(line)
+            except (ValueError, KeyError):
+                continue
+            if row.schema_version == SCHEMA_VERSION:
+                out.append(row)
+        return out
+
+    def rows(self, spec: str) -> list[ResultRow]:
+        """Deduplicated rows (last-wins), in first-appearance order."""
+        merged: dict[tuple[str, int], ResultRow] = {}
+        for line in self._iter_lines(spec):
+            try:
+                row = ResultRow.from_json(line)
+            except (ValueError, KeyError):
+                continue  # torn / foreign line: treat as absent
+            if row.schema_version != SCHEMA_VERSION:
+                continue
+            merged[row.key] = row
+        return list(merged.values())
+
+    def keys(self, spec: str) -> dict[tuple[str, int], str]:
+        """(config_hash, seed) -> status of the surviving row."""
+        return {row.key: row.status for row in self.rows(spec)}
+
+    def get(self, spec: str, config_hash: str, seed: int) -> ResultRow | None:
+        for row in self.rows(spec):
+            if row.key == (config_hash, seed):
+                return row
+        return None
+
+    def status(self, spec: str) -> StoreStatus:
+        """Counts including superseded rows and unparseable lines."""
+        n_lines = 0
+        n_skipped = 0
+        merged: dict[tuple[str, int], ResultRow] = {}
+        for line in self._iter_lines(spec):
+            n_lines += 1
+            try:
+                row = ResultRow.from_json(line)
+            except (ValueError, KeyError):
+                n_skipped += 1
+                continue
+            if row.schema_version != SCHEMA_VERSION:
+                n_skipped += 1
+                continue
+            merged[row.key] = row
+        n_ok = sum(1 for row in merged.values() if row.ok)
+        return StoreStatus(
+            spec=spec,
+            n_ok=n_ok,
+            n_failed=len(merged) - n_ok,
+            n_superseded=n_lines - n_skipped - len(merged),
+            n_skipped_lines=n_skipped,
+        )

@@ -1,0 +1,122 @@
+"""BENCH trajectory: record, emit, load, and the regression gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    TRACKED_SERIES,
+    ResultStore,
+    emit_bench,
+    load_bench,
+    record_bench_series,
+)
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts" / "bench_gate.py"
+)
+
+
+def _load_gate():
+    gate_spec = importlib.util.spec_from_file_location(
+        "bench_gate", _GATE_PATH
+    )
+    module = importlib.util.module_from_spec(gate_spec)
+    gate_spec.loader.exec_module(module)
+    return module
+
+
+def _populate(store, speedups):
+    for name, speedup in speedups.items():
+        record_bench_series(
+            store, name, value_ms=10.0, speedup=speedup,
+            context={"smoke": False},
+        )
+
+
+def test_emit_latest_wins(tmp_path):
+    store = ResultStore(tmp_path)
+    record_bench_series(store, "bank_scaling", 20.0, 10.0, {})
+    record_bench_series(store, "bank_scaling", 15.0, 40.0, {})
+    document = emit_bench(store, tmp_path / "BENCH_v6.json")
+    assert document["series"]["bank_scaling"]["speedup"] == 40.0
+    assert document["tracked"] == ["bank_scaling"]
+    loaded = load_bench(tmp_path / "BENCH_v6.json")
+    assert loaded == document
+
+
+def test_emit_requires_rows(tmp_path):
+    with pytest.raises(SweepError, match="no bench rows"):
+        emit_bench(ResultStore(tmp_path))
+
+
+def test_load_rejects_non_snapshots(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"not": "a snapshot"}))
+    with pytest.raises(SweepError):
+        load_bench(path)
+
+
+def test_gate_passes_within_bounds(tmp_path):
+    store = ResultStore(tmp_path)
+    _populate(store, {name: 10.0 for name in TRACKED_SERIES})
+    baseline = emit_bench(store, tmp_path / "baseline.json")
+    # Candidate at half the speedup: exactly 2.0x loss, still allowed.
+    store2 = ResultStore(tmp_path / "s2")
+    _populate(store2, {name: 5.0 for name in TRACKED_SERIES})
+    candidate = emit_bench(store2, tmp_path / "candidate.json")
+    gate = _load_gate()
+    assert gate.compare(baseline, candidate, max_loss=2.0) == []
+    assert gate.main(
+        [str(tmp_path / "baseline.json"), str(tmp_path / "candidate.json")]
+    ) == 0
+
+
+def test_gate_fails_on_speedup_loss(tmp_path):
+    store = ResultStore(tmp_path)
+    _populate(store, {name: 40.0 for name in TRACKED_SERIES})
+    baseline = emit_bench(store, tmp_path / "baseline.json")
+    store2 = ResultStore(tmp_path / "s2")
+    _populate(store2, {
+        name: (5.0 if name == "sketch_scaling" else 40.0)
+        for name in TRACKED_SERIES
+    })
+    candidate = emit_bench(store2, tmp_path / "candidate.json")
+    gate = _load_gate()
+    failures = gate.compare(baseline, candidate, max_loss=2.0)
+    assert len(failures) == 1
+    assert "sketch_scaling" in failures[0]
+    assert gate.main(
+        [str(tmp_path / "baseline.json"), str(tmp_path / "candidate.json")]
+    ) == 1
+
+
+def test_gate_fails_on_missing_tracked_series(tmp_path):
+    store = ResultStore(tmp_path)
+    _populate(store, {name: 10.0 for name in TRACKED_SERIES})
+    baseline = emit_bench(store, tmp_path / "baseline.json")
+    store2 = ResultStore(tmp_path / "s2")
+    _populate(store2, {"bank_scaling": 10.0})
+    candidate = emit_bench(store2, tmp_path / "candidate.json")
+    gate = _load_gate()
+    failures = gate.compare(baseline, candidate, max_loss=2.0)
+    assert len(failures) == len(TRACKED_SERIES) - 1
+    assert all("missing" in f for f in failures)
+
+
+def test_gate_untracked_series_ignored(tmp_path):
+    """engine_scaling may swing freely — it is not gate-tracked."""
+    store = ResultStore(tmp_path)
+    _populate(store, {name: 10.0 for name in TRACKED_SERIES})
+    record_bench_series(store, "engine_scaling", 100.0, 3.5, {})
+    baseline = emit_bench(store, tmp_path / "baseline.json")
+    store2 = ResultStore(tmp_path / "s2")
+    _populate(store2, {name: 10.0 for name in TRACKED_SERIES})
+    record_bench_series(store2, "engine_scaling", 100.0, 0.5, {})
+    candidate = emit_bench(store2, tmp_path / "candidate.json")
+    gate = _load_gate()
+    assert gate.compare(baseline, candidate, max_loss=2.0) == []

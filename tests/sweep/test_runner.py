@@ -1,0 +1,120 @@
+"""Runner semantics: resume, interrupts, tombstones, retry."""
+
+import pytest
+
+from repro.sweep import ResultStore, SweepSpec, run_sweep
+from repro.sweep import runner as runner_module
+from repro.sweep.runner import execute_run
+from repro.sweep.store import STATUS_FAILED, STATUS_OK, ResultRow
+
+
+def _fake_execute(spec_name, params, seed):
+    from repro.sweep.spec import RunConfig
+
+    config = RunConfig(spec_name, params)
+    return ResultRow(
+        spec=spec_name,
+        config_hash=config.config_hash,
+        seed=seed,
+        status=STATUS_OK,
+        params=config.params,
+        payload={"sigma": float(params["a"])},
+    )
+
+
+@pytest.fixture
+def demo_spec():
+    return SweepSpec(name="demo", axes={"a": (1, 2, 3)}, seeds=(0, 1))
+
+
+def test_run_and_resume(tmp_path, monkeypatch, demo_spec):
+    calls = []
+
+    def counting(spec_name, params, seed):
+        calls.append((params["a"], seed))
+        return _fake_execute(spec_name, params, seed)
+
+    monkeypatch.setattr(runner_module, "execute_run", counting)
+    store = ResultStore(tmp_path)
+    report = run_sweep(demo_spec, store)
+    assert (report.n_total, report.n_skipped, report.n_ok) == (6, 0, 6)
+    assert len(calls) == 6
+
+    # Second run is a pure resume hit: zero new executions.
+    report = run_sweep(demo_spec, store)
+    assert (report.n_total, report.n_skipped, report.n_ran) == (6, 6, 0)
+    assert len(calls) == 6
+    assert len(store.rows("demo")) == 6
+
+
+def test_resume_after_interrupt(tmp_path, monkeypatch, demo_spec):
+    """Killing a sweep mid-flight loses only the in-flight run."""
+    calls = []
+
+    def interrupting(spec_name, params, seed):
+        if len(calls) == 3:
+            raise KeyboardInterrupt
+        calls.append((params["a"], seed))
+        return _fake_execute(spec_name, params, seed)
+
+    monkeypatch.setattr(runner_module, "execute_run", interrupting)
+    store = ResultStore(tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(demo_spec, store)
+    # The three completed runs were appended before the interrupt.
+    assert len(store.rows("demo")) == 3
+
+    monkeypatch.setattr(runner_module, "execute_run", _fake_execute)
+    report = run_sweep(demo_spec, store)
+    assert (report.n_skipped, report.n_ok) == (3, 3)
+    rows = store.rows("demo")
+    # No duplicate and no missing rows after the relaunch.
+    assert len(rows) == 6
+    assert len({row.key for row in rows}) == 6
+    assert store.status("demo").n_superseded == 0
+
+
+def test_tombstones_and_retry(tmp_path, monkeypatch, demo_spec):
+    def flaky(spec_name, params, seed):
+        row = _fake_execute(spec_name, params, seed)
+        if params["a"] == 2:
+            row.status = STATUS_FAILED
+            row.error = "ValueError: synthetic"
+            row.payload = {}
+        return row
+
+    monkeypatch.setattr(runner_module, "execute_run", flaky)
+    store = ResultStore(tmp_path)
+    report = run_sweep(demo_spec, store)
+    assert (report.n_ok, report.n_failed) == (4, 2)
+
+    # Plain rerun skips tombstones too (they are "not pending").
+    report = run_sweep(demo_spec, store)
+    assert (report.n_skipped, report.n_ran) == (6, 0)
+
+    # retry_failed reruns exactly the tombstoned pairs; the fresh ok
+    # rows supersede the tombstones last-wins.
+    monkeypatch.setattr(runner_module, "execute_run", _fake_execute)
+    report = run_sweep(demo_spec, store, retry_failed=True)
+    assert (report.n_skipped, report.n_ok, report.n_failed) == (4, 2, 0)
+    assert all(row.ok for row in store.rows("demo"))
+    assert store.status("demo").n_superseded == 2
+
+
+def test_execute_run_tombstones_real_failures(tmp_path):
+    row = execute_run(
+        "demo", {"algorithm": "stats", "dataset": "courses/ZZZ"}, 0
+    )
+    assert row.status == STATUS_FAILED
+    assert "SweepError" in row.error
+    assert row.payload["elapsed_seconds"] >= 0.0
+
+
+def test_execute_run_stats_payload():
+    row = execute_run(
+        "demo", {"algorithm": "stats", "dataset": "courses/A"}, 0
+    )
+    assert row.ok
+    # Table III published class size for class A.
+    assert row.payload["n_users"] == 33
+    assert row.payload["n_items"] == 30

@@ -1,0 +1,150 @@
+"""Canonicalization and config-hash stability (DESIGN.md §7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import (
+    RunConfig,
+    SweepSpec,
+    canonical_json,
+    canonical_params,
+    config_hash,
+)
+
+
+class TestCanonicalParams:
+    def test_scalars_pass_through(self):
+        assert canonical_params(None) is None
+        assert canonical_params(True) is True
+        assert canonical_params(3) == 3
+        assert canonical_params(2.5) == 2.5
+        assert canonical_params("yelp") == "yelp"
+
+    def test_tuples_become_lists(self):
+        assert canonical_params((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_mappings_key_sorted(self):
+        out = canonical_params({"b": 1, "a": {"d": 2, "c": 3}})
+        assert list(out) == ["a", "b"]
+        assert list(out["a"]) == ["c", "d"]
+
+    def test_numpy_scalars_unwrap(self):
+        assert canonical_params(np.float64(2.5)) == 2.5
+        assert canonical_params(np.int64(7)) == 7
+        assert isinstance(canonical_params(np.int64(7)), int)
+
+    def test_non_finite_floats_rejected(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(SweepError):
+                canonical_params(bad)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(SweepError):
+            canonical_params({1: "x"})
+
+    def test_arbitrary_objects_rejected(self):
+        with pytest.raises(SweepError):
+            canonical_params(object())
+
+
+class TestConfigHash:
+    def test_insertion_order_independent(self):
+        a = {"dataset": "yelp", "budget": 500.0, "algorithm": "Dysim"}
+        b = {"algorithm": "Dysim", "dataset": "yelp", "budget": 500.0}
+        assert config_hash(a) == config_hash(b)
+
+    def test_nested_order_independent(self):
+        a = {"algorithm_kwargs": {"x": 1, "y": 2}}
+        b = {"algorithm_kwargs": {"y": 2, "x": 1}}
+        assert config_hash(a) == config_hash(b)
+
+    def test_pinned_literal(self):
+        # Cross-process / cross-version stability anchor: if this
+        # changes, every committed store row is orphaned — bump
+        # SCHEMA_VERSION instead of rehashing silently.
+        params = {
+            "algorithm": "Dysim",
+            "budget": 500.0,
+            "n_promotions": 10,
+            "algorithm_kwargs": {"candidate_pool": 70},
+        }
+        assert canonical_json(params) == (
+            '{"algorithm":"Dysim","algorithm_kwargs":'
+            '{"candidate_pool":70},"budget":500.0,"n_promotions":10}'
+        )
+        assert config_hash(params) == "185bd83469926936"
+
+    def test_int_and_float_distinct(self):
+        assert config_hash({"budget": 500}) != config_hash({"budget": 500.0})
+
+    def test_bool_and_int_distinct(self):
+        assert config_hash({"flag": True}) != config_hash({"flag": 1})
+
+    def test_schema_version_rekeys(self):
+        params = {"budget": 500.0}
+        assert config_hash(params, schema_version=1) != config_hash(
+            params, schema_version=2
+        )
+
+    def test_numpy_equals_python(self):
+        assert config_hash({"budget": np.float64(500.0)}) == config_hash(
+            {"budget": 500.0}
+        )
+
+
+class TestSweepSpec:
+    def test_expand_axis_order(self):
+        spec = SweepSpec(
+            name="s",
+            axes={"a": (1, 2), "b": ("x", "y")},
+            base={"c": 0},
+        )
+        points = [config.params for config in spec.expand()]
+        # First axis varies slowest (cartesian product in declaration
+        # order) — this is what pins artifact row ordering.
+        assert [(p["a"], p["b"]) for p in points] == [
+            (1, "x"), (1, "y"), (2, "x"), (2, "y")
+        ]
+        assert all(p["c"] == 0 for p in points)
+
+    def test_refine_modifies_and_drops(self):
+        def refine(params):
+            if params["a"] == 2:
+                return None
+            params["derived"] = params["a"] * 10
+            return params
+
+        spec = SweepSpec(name="s", axes={"a": (1, 2, 3)}, refine=refine)
+        points = [config.params for config in spec.expand()]
+        assert [p["a"] for p in points] == [1, 3]
+        assert [p["derived"] for p in points] == [10, 30]
+
+    def test_duplicate_configs_rejected(self):
+        spec = SweepSpec(
+            name="s",
+            axes={"a": (1, 2)},
+            refine=lambda params: {"pinned": 0},
+        )
+        with pytest.raises(SweepError, match="duplicate"):
+            spec.expand()
+
+    def test_empty_expansion_rejected(self):
+        spec = SweepSpec(
+            name="s", axes={"a": (1,)}, refine=lambda params: None
+        )
+        with pytest.raises(SweepError, match="no runs"):
+            spec.expand()
+
+    def test_run_keys_cross_seeds(self):
+        spec = SweepSpec(name="s", axes={"a": (1, 2)}, seeds=(0, 7))
+        keys = spec.run_keys()
+        assert len(keys) == 4
+        assert [seed for _, seed in keys] == [0, 7, 0, 7]
+
+    def test_runconfig_equality_by_hash(self):
+        a = RunConfig("s", {"x": 1, "y": 2})
+        b = RunConfig("s", {"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != RunConfig("other", {"x": 1, "y": 2})

@@ -1,0 +1,120 @@
+"""Result-store invariants: append-only, last-wins, torn-line safety."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import ResultRow, ResultStore
+from repro.sweep.store import STATUS_FAILED, STATUS_OK
+
+
+def _row(config_hash="a" * 16, seed=0, status=STATUS_OK, sigma=1.0):
+    return ResultRow(
+        spec="demo",
+        config_hash=config_hash,
+        seed=seed,
+        status=status,
+        params={"algorithm": "Dysim"},
+        payload={"sigma": sigma},
+        error="boom" if status == STATUS_FAILED else None,
+    )
+
+
+def test_roundtrip(tmp_path):
+    store = ResultStore(tmp_path)
+    row = _row()
+    store.append(row)
+    (loaded,) = store.rows("demo")
+    assert loaded == row
+    assert loaded.ok
+    assert store.get("demo", row.config_hash, row.seed) == row
+    assert store.get("demo", "f" * 16, 0) is None
+
+
+def test_last_wins_dedupe(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(_row(status=STATUS_FAILED, sigma=0.0))
+    store.append(_row(sigma=2.0))
+    (survivor,) = store.rows("demo")
+    assert survivor.ok
+    assert survivor.payload["sigma"] == 2.0
+    # The tombstone stays in the trajectory.
+    assert len(store.raw_rows("demo")) == 2
+    status = store.status("demo")
+    assert (status.n_ok, status.n_failed, status.n_superseded) == (1, 0, 1)
+
+
+def test_tombstones_counted(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(_row(seed=0))
+    store.append(_row(seed=1, status=STATUS_FAILED))
+    assert store.keys("demo") == {
+        ("a" * 16, 0): STATUS_OK,
+        ("a" * 16, 1): STATUS_FAILED,
+    }
+
+
+def test_torn_line_skipped(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(_row(seed=0))
+    # Simulate a torn write (power loss mid-append): a truncated line.
+    with store.path("demo").open("a") as handle:
+        handle.write('{"spec": "demo", "config_hash": "bbbb')
+    store.append(_row(seed=1))
+    assert {row.seed for row in store.rows("demo")} == {0, 1}
+    assert store.status("demo").n_skipped_lines == 1
+
+
+def test_foreign_schema_version_ignored(tmp_path):
+    store = ResultStore(tmp_path)
+    old = json.loads(_row().to_json())
+    old["schema_version"] = 999
+    with store.path("demo").open("a") as handle:
+        handle.write(json.dumps(old) + "\n")
+    assert store.rows("demo") == []
+    assert store.status("demo").n_skipped_lines == 1
+
+
+def test_invalid_spec_names_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    for bad in ("", "a/b", ".hidden", "../escape"):
+        with pytest.raises(SweepError):
+            store.path(bad)
+
+
+def test_specs_listing(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.specs() == []
+    store.append(_row())
+    other = _row()
+    other.spec = "zeta"
+    store.append(other)
+    assert store.specs() == ["demo", "zeta"]
+
+
+def _append_batch(root, worker_id, n_rows):
+    store = ResultStore(root)
+    for i in range(n_rows):
+        store.append(_row(config_hash=f"{worker_id:04x}{i:012x}", seed=0))
+
+
+def test_parallel_appends_never_tear(tmp_path):
+    """Concurrent writers interleave whole lines, never fragments."""
+    n_workers, n_rows = 4, 50
+    processes = [
+        multiprocessing.Process(
+            target=_append_batch, args=(str(tmp_path), w, n_rows)
+        )
+        for w in range(n_workers)
+    ]
+    for p in processes:
+        p.start()
+    for p in processes:
+        p.join()
+        assert p.exitcode == 0
+    store = ResultStore(tmp_path)
+    status = store.status("demo")
+    assert status.n_skipped_lines == 0
+    assert status.n_ok == n_workers * n_rows
