@@ -17,7 +17,10 @@ substream regardless of the executing worker.
 ``mc`` (default) re-simulates every query; ``sketch`` answers from a
 realization bank of forward-reachability sketches — the same worlds
 for every query, no selection noise, several times faster at equal
-replication counts.  Dynamic evaluations always use Monte-Carlo.
+replication counts; ``rrset`` answers from reverse-reachable coverage
+samples — selection cost independent of the graph once the samples
+exist, which is what scales sigma to 10^6 users.  Dynamic evaluations
+always use Monte-Carlo.
 
 ``--gain-batch`` sets how many candidates every selection phase asks
 its gain oracle per call (the unified selection layer,
@@ -38,7 +41,7 @@ way — only wall-clock differs.
     repro sweep run --spec fig9h        # resumed: zero new runs
     repro sweep status                  # store row counts per spec
     repro sweep render fig9h            # regenerate the txt artifact(s)
-    repro sweep bench --out benchmarks/results/BENCH_v6.json
+    repro sweep bench --out benchmarks/results/BENCH_v7.json
 
 ``run`` is resumable: results are keyed by (config hash, seed-stream)
 in an append-only store (default ``benchmarks/results/store/``), so an
@@ -197,7 +200,10 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         help="sigma oracle for the frozen selection phases: 'mc' "
         "re-simulates every query, 'sketch' answers from a "
         "realization bank of reachability sketches (much faster at "
-        "equal replication counts; dynamic evaluations stay MC)",
+        "equal replication counts), 'rrset' answers from reverse-"
+        "reachable coverage samples (selection cost independent of "
+        "the graph once sampled — the million-node path); dynamic "
+        "evaluations stay MC",
     )
     parser.add_argument(
         "--gain-batch",

@@ -89,12 +89,15 @@ class DysimConfig:
         Trigger model for all internal evaluation.
     oracle:
         Sigma oracle for the frozen selection phases: ``"mc"``
-        (Monte-Carlo re-simulation, the default) or ``"sketch"``
+        (Monte-Carlo re-simulation, the default), ``"sketch"``
         (realization bank + reachability sketches — several times
         faster at equal replication counts; exact common random
-        numbers across queries).  The dynamic DR / SI evaluations
-        always use Monte-Carlo, which is the only oracle that can
-        observe evolving perceptions.
+        numbers across queries) or ``"rrset"`` (reverse-reachable
+        coverage samples — selection cost independent of the graph
+        once sampled, the million-node path; ``n_samples_selection``
+        then counts RR sets, typically hundreds+).  The dynamic
+        DR / SI evaluations always use Monte-Carlo, which is the only
+        oracle that can observe evolving perceptions.
     reach_kernel:
         Reachability kernel of the sketch oracle's realization bank:
         ``"packed"`` (bit-parallel multi-world BFS, the default) or

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.core.selection import (
@@ -48,7 +49,6 @@ from repro.core.selection import (
     sigma_block,
 )
 from repro.diffusion.montecarlo import SigmaEstimator
-from repro.sketch.estimator import SketchSigmaEstimator
 
 __all__ = ["NomineeSelection", "select_nominees", "rank_candidates"]
 
@@ -75,36 +75,45 @@ def rank_candidates(
     and *cheap* candidates late, when the residual budget no longer
     affords the strong ones.
     """
-    scores = []
-    for user in instance.network.users():
-        degree = instance.network.out_degree(user)
-        if degree == 0:
-            continue
-        for item in instance.items:
-            cost = instance.cost(user, item)
-            if cost > instance.budget:
-                continue
-            quality = (
-                (1.0 + degree)
-                * instance.base_preference[user, item]
-                * max(instance.importance[item], 1e-9)
-            )
-            scores.append((quality, quality / cost, user, item))
-    if pool_size is None or len(scores) <= pool_size:
-        scores.sort(reverse=True)
-        return [(user, item) for _, _, user, item in scores]
+    # Vectorized over the full (user, item) grid — the historical
+    # per-pair Python loop was the nominee bottleneck at 10^6 users.
+    # Bit-identical: the quality product keeps the same factor order,
+    # row-major ``np.nonzero`` reproduces the loop's append order, the
+    # full sort is descending-lexicographic over the exact tuple the
+    # loop sorted, and the pooled rankings use stable argsorts (ties
+    # keep append order, like Python's stable ``sorted``).
+    csr = instance.network.csr
+    degrees = np.diff(csr.out_indptr)
+    costs = np.asarray(instance.costs, dtype=float)
+    quality_grid = (
+        (1.0 + degrees.astype(float))[:, None]
+        * np.asarray(instance.base_preference, dtype=float)
+        * np.maximum(np.asarray(instance.importance, dtype=float), 1e-9)[
+            None, :
+        ]
+    )
+    keep = (degrees > 0)[:, None] & (costs <= instance.budget)
+    users, items = np.nonzero(keep)
+    quality = quality_grid[users, items]
+    value = quality / costs[users, items]
+    if pool_size is None or users.size <= pool_size:
+        order = np.lexsort((-items, -users, -value, -quality))
+        return list(
+            zip(users[order].tolist(), items[order].tolist())
+        )
 
     pool: list[tuple[int, int]] = []
     seen: set[tuple[int, int]] = set()
-    by_quality = sorted(scores, key=lambda s: -s[0])
-    by_value = sorted(scores, key=lambda s: -s[1])
+    by_quality = np.argsort(-quality, kind="stable")
+    by_value = np.argsort(-value, kind="stable")
     for ranking, limit in ((by_quality, pool_size // 2), (by_value, pool_size)):
-        for _, _, user, item in ranking:
+        for index in ranking:
             if len(pool) >= limit:
                 break
-            if (user, item) not in seen:
-                seen.add((user, item))
-                pool.append((user, item))
+            pair = (int(users[index]), int(items[index]))
+            if pair not in seen:
+                seen.add(pair)
+                pool.append(pair)
     return pool
 
 
@@ -144,14 +153,14 @@ def select_nominees(
     # Procedure 2 keeps extracting while any affordable nominee
     # remains ("while U != 0"); with a Monte-Carlo oracle a noisy
     # non-positive marginal must not end the selection early.
-    if (
-        isinstance(estimator, SketchSigmaEstimator)
-        and estimator.supports_sketch
-    ):
-        # Sketch fast path: same MCP rule and lazy heap, but marginal
-        # gains are batched packed-bitset lookups over the realization
-        # bank instead of per-call re-unions — the selection-phase
-        # speedup benchmarks/test_sketch_scaling.py asserts.
+    if getattr(estimator, "supports_coverage_selection", False):
+        # Coverage fast path (sketch bank or RR-set index): same MCP
+        # rule and lazy heap, but marginal gains are batched
+        # packed-bitset lookups — per-realization coverage against the
+        # bank, or per-sample membership popcounts against the RR
+        # index — instead of per-call re-unions; the speedups
+        # benchmarks/test_sketch_scaling.py and
+        # benchmarks/test_rrset_scaling.py assert.
         result = estimator.select_budgeted(
             universe, cost, instance.budget, gain_batch=gain_batch
         )

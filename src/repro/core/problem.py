@@ -241,8 +241,22 @@ class IMDPPInstance:
         )
 
     def frozen(self) -> "IMDPPInstance":
-        """Clone with dynamics disabled (the regime of Lemma 1)."""
-        return replace(self, dynamics=DynamicsParams.frozen())
+        """Clone with dynamics disabled (the regime of Lemma 1).
+
+        Only the update-rule strengths (eta, beta, gamma) are zeroed;
+        ``association_scale`` and the probability floors describe the
+        diffusion itself, not the perception dynamics, and must
+        survive — resetting them (as this method historically did, via
+        ``DynamicsParams.frozen()``) would re-enable Pext on instances
+        that pin it off, e.g. the scale-bench presets.  Already-frozen
+        instances come back unchanged.
+        """
+        if self.dynamics.is_frozen:
+            return self
+        return replace(
+            self,
+            dynamics=replace(self.dynamics, eta=0.0, beta=0.0, gamma=0.0),
+        )
 
     def with_budget(self, budget: float) -> "IMDPPInstance":
         """Clone with a different budget (for sweeps)."""

@@ -98,6 +98,7 @@ __all__ = [
     "FunctionGainOracle",
     "CoverageGainOracle",
     "MonteCarloGainOracle",
+    "RRCoverageGainOracle",
     "PairLayout",
     "SigmaBatchTask",
     "evaluate_sigma_chunk",
@@ -405,6 +406,59 @@ class CoverageGainOracle:
     ) -> None:
         reach = self.bank.stacked_reach_packed(self._pair(candidate))
         self._covered |= reach
+        if value is not None:
+            self.value = value
+        else:
+            self.value += float(gain)
+
+
+class RRCoverageGainOracle:
+    """Exact coverage gains over a packed RR-set membership index.
+
+    The RIS dual of :class:`CoverageGainOracle`: instead of unioning
+    forward-reachability stacks across worlds, the marginal gain of a
+    candidate is the number of *RR samples* its membership row adds
+    beyond the covered set, scaled by ``W / R`` (see
+    :mod:`repro.sketch.rrset`).  One popcount over
+    ``member[pair] & ~covered`` per candidate — cost independent of
+    the graph size once the index exists — and gains are *exactly*
+    monotone and submodular on the fixed sample family, so the CELF
+    lazy heap commits without any stale-bound surprises.
+
+    ``index`` is duck-typed (``member`` / ``n_words`` /
+    ``n_samples`` / ``total_importance`` / ``pair_index``), keeping
+    this module free of sketch imports.
+    """
+
+    #: Unlimited prefetch: a block of packed gains costs barely more
+    #: than one, so wasted speculative evaluations are nearly free.
+    prefetch_limit = None
+
+    def __init__(self, index):
+        self.index = index
+        self._covered = np.zeros(index.n_words, dtype=np.uint64)
+        self._scale = index.total_importance / index.n_samples
+        self.value = 0.0
+        self.n_evaluations = 0
+
+    def _pair(self, element) -> int:
+        if isinstance(element, tuple):
+            return self.index.pair_index(*element)
+        return int(element)
+
+    def gains(self, candidates: Sequence) -> np.ndarray:
+        pairs = np.array(
+            [self._pair(element) for element in candidates], dtype=np.int64
+        )
+        fresh = self.index.member[pairs] & ~self._covered[None, :]
+        counts = popcount_words(fresh).sum(axis=-1)
+        self.n_evaluations += len(pairs)
+        return counts.astype(float) * self._scale
+
+    def commit(
+        self, candidate, gain: float | None = None, *, value: float | None = None
+    ) -> None:
+        self._covered = self._covered | self.index.member[self._pair(candidate)]
         if value is not None:
             self.value = value
         else:

@@ -12,6 +12,17 @@ from dataclasses import replace
 
 from repro.data.synthetic import SyntheticSpec, build_dataset
 from repro.errors import DatasetError
+from repro.perception.params import DynamicsParams
+
+#: Dynamics of the scale-bench presets: frozen (eta = beta = gamma = 0)
+#: so the RR-set / sketch coverage oracles apply, AND association_scale
+#: pinned to 0 so the probability skeleton carries no Pext entries —
+#: at 10^6 users the association coins would dominate the arc coins.
+#: NOTE: ``DynamicsParams.frozen()`` alone keeps the default
+#: association_scale = 0.2; the explicit 0.0 here is load-bearing.
+_SCALE_BENCH_DYNAMICS = DynamicsParams(
+    eta=0.0, beta=0.0, gamma=0.0, association_scale=0.0
+)
 
 __all__ = ["DATASET_NAMES", "dataset_spec", "load_dataset"]
 
@@ -86,6 +97,45 @@ _PRESETS: dict[str, SyntheticSpec] = {
         # Fig. 8 budgets (50..125) should afford only ~2-4 seeds so
         # the brute-force OPT enumeration stays exact and tractable.
         cost_scale=4.0,
+    ),
+    # Scale-bench graphs (Fig. 9 scalability axis): sparse random
+    # networks built directly in CSR form, few items, frozen Pext-free
+    # dynamics so the selection-phase coverage oracles apply end to end.
+    "synth-100k": SyntheticSpec(
+        name="synth-100k",
+        n_users=100_000,
+        n_items=8,
+        n_ecosystems=3,
+        n_categories=4,
+        n_features=12,
+        network_kind="sparse_random",
+        directed=True,
+        avg_degree=8.0,
+        mean_strength=0.08,
+        importance="lognormal",
+        importance_mean=1.8,
+        budget=5_000.0,
+        n_promotions=2,
+        cost_scale=2.0,
+        dynamics=_SCALE_BENCH_DYNAMICS,
+    ),
+    "synth-1m": SyntheticSpec(
+        name="synth-1m",
+        n_users=1_000_000,
+        n_items=8,
+        n_ecosystems=3,
+        n_categories=4,
+        n_features=12,
+        network_kind="sparse_random",
+        directed=True,
+        avg_degree=8.0,
+        mean_strength=0.08,
+        importance="lognormal",
+        importance_mean=1.8,
+        budget=20_000.0,
+        n_promotions=2,
+        cost_scale=2.0,
+        dynamics=_SCALE_BENCH_DYNAMICS,
     ),
 }
 

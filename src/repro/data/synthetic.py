@@ -39,6 +39,7 @@ from repro.social.generators import (
     community_network,
     scale_free_network,
     small_world_network,
+    sparse_random_network,
 )
 from repro.utils.rng import RngFactory
 
@@ -61,9 +62,11 @@ class SyntheticSpec:
     n_features: int = 30
     n_tags: int = 20
     n_venues: int = 10
-    network_kind: str = "community"  # community | scale_free | small_world
+    #: community | scale_free | small_world | sparse_random
+    network_kind: str = "community"
     directed: bool = False
     mean_strength: float = 0.1
+    avg_degree: float = 8.0  # sparse_random only
     importance: str = "lognormal"  # lognormal | uniform
     importance_mean: float = 1.6
     n_meta_complementary: int = 3  # Fig. 13 sweeps 1..3
@@ -82,6 +85,7 @@ class SyntheticSpec:
             "community",
             "scale_free",
             "small_world",
+            "sparse_random",
         ):
             raise DatasetError(
                 f"unknown network kind {self.network_kind!r}"
@@ -194,6 +198,13 @@ def _build_network(spec: SyntheticSpec, rng: np.random.Generator):
             mean_strength=spec.mean_strength,
             directed=spec.directed,
         )
+    if spec.network_kind == "sparse_random":
+        return sparse_random_network(
+            spec.n_users,
+            rng=rng,
+            avg_degree=spec.avg_degree,
+            mean_strength=spec.mean_strength,
+        )
     return small_world_network(
         spec.n_users, rng=rng, mean_strength=spec.mean_strength
     )
@@ -222,11 +233,10 @@ def build_dataset(spec: SyntheticSpec) -> IMDPPInstance:
     rng = factory.stream("users")
     base_preference = rng.beta(2.0, 5.0, size=(spec.n_users, spec.n_items))
     affinity = rng.integers(0, spec.n_ecosystems, size=spec.n_users)
-    for user in range(spec.n_users):
-        boost = ecosystem == affinity[user]
-        base_preference[user, boost] = np.clip(
-            base_preference[user, boost] + 0.25, 0.0, 1.0
-        )
+    # Vectorized affinity boost (bit-identical to the historical
+    # per-user loop: same elementwise add + clip on the boosted cells).
+    boost = ecosystem[None, :] == affinity[:, None]
+    base_preference[boost] = np.clip(base_preference[boost] + 0.25, 0.0, 1.0)
 
     weights = initial_weights(
         spec.n_users, relevance.n_meta, rng=factory.stream("weights")

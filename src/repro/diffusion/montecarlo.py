@@ -38,6 +38,7 @@ from repro.engine.replication import (
     chunk_indices,
     run_chunk,
 )
+from repro.engine.shm import share_for_backend
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -179,6 +180,12 @@ class SigmaEstimator:
         self.n_samples = int(n_samples)
         self.rng_factory = rng_factory or RngFactory(0)
         self.backend = resolve_backend(backend, workers)
+        # On a process pool, export the instance's CSR arrays to
+        # shared-memory blocks so every task pickle ships a handle
+        # instead of the graph (no-op on serial / thread backends;
+        # unlinked when the backend closes).  Estimates are unaffected
+        # — workers attach bit-identical arrays.
+        share_for_backend(instance.network.csr, self.backend)
         self.cache = cache if cache is not None else SigmaCache()
         # Cache keys embed id(instance); pinning makes that id stable
         # for the cache's lifetime (no address reuse after a GC).

@@ -43,6 +43,14 @@ from repro.engine.replication import (
     chunk_indices,
     run_chunk,
 )
+from repro.engine.shm import (
+    SharedArrayHandle,
+    SharedCSRHandle,
+    attach_csr,
+    release_csr,
+    share_csr,
+    share_for_backend,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -53,12 +61,18 @@ __all__ = [
     "ProcessPoolBackend",
     "ReplicationTask",
     "SerialBackend",
+    "SharedArrayHandle",
+    "SharedCSRHandle",
     "SigmaCache",
     "ThreadBackend",
+    "attach_csr",
     "chunk_indices",
     "get_default_backend",
+    "release_csr",
     "resolve_backend",
     "run_chunk",
     "set_default_backend",
+    "share_csr",
+    "share_for_backend",
     "worker_chunks",
 ]

@@ -152,6 +152,7 @@ class _PoolBackend:
         self.chunk_size = int(chunk_size)
         self._executor: concurrent.futures.Executor | None = None
         self._closed = False
+        self._cleanups: list = []
 
     def _make_executor(self) -> concurrent.futures.Executor:
         raise NotImplementedError
@@ -198,6 +199,27 @@ class _PoolBackend:
             )
         )
 
+    def add_cleanup(self, callback) -> None:
+        """Register a resource-release callback for :meth:`close`.
+
+        The shared-memory layer (:mod:`repro.engine.shm`) ties exported
+        CSR blocks to the backend that ships their handles: unlinking
+        must happen exactly when the pool dies — earlier and in-flight
+        workers lose their files, later and the blocks leak.  Callbacks
+        run after the executor has shut down (workers joined), in
+        registration order; exceptions are swallowed so one failed
+        unlink cannot mask the close.
+        """
+        self._cleanups.append(callback)
+
+    def _run_cleanups(self) -> None:
+        cleanups, self._cleanups = self._cleanups, []
+        for callback in cleanups:
+            try:
+                callback()
+            except Exception:
+                pass
+
     def close(self) -> None:
         # Terminal: further run()/executor access raises rather than
         # silently resurrecting an orphan pool nothing would close.
@@ -205,6 +227,7 @@ class _PoolBackend:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._run_cleanups()
 
     def __del__(self):  # pragma: no cover - GC-timing dependent
         # Safety net: a backend resolved per algorithm run (e.g.
@@ -213,6 +236,7 @@ class _PoolBackend:
         try:
             if self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
+            self._run_cleanups()
         except Exception:
             pass
 

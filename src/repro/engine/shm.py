@@ -1,0 +1,258 @@
+"""Shared-memory CSR blocks: zero-copy graph attach for process pools.
+
+A :class:`~repro.engine.backends.ProcessPoolBackend` ships one pickle
+of the task per chunk — and a task embeds the instance, whose frozen
+:class:`~repro.social.csr.CSRGraph` arrays dominate the payload on
+large graphs (a 1M-node network is hundreds of MB of ``indptr`` /
+``indices`` / ``strength``; pickling it per chunk would drown the
+pool in serialization).  This module freezes those arrays into files
+once, on the parent, and replaces their pickle payload with a tiny
+:class:`SharedCSRHandle`; workers attach the files as read-only
+``np.memmap`` views — one mmap per (path, shape, dtype) per worker
+process, shared by every later chunk — so the graph crosses the
+process boundary exactly once per worker, by page table, not by pipe.
+
+``np.memmap`` over ``multiprocessing.shared_memory`` deliberately: on
+Python < 3.13 attaching a ``SharedMemory`` block registers it with the
+resource tracker, which then unlinks segments still in use when any
+worker exits (bpo-38119); plain files mmap identically fast, need no
+tracker, and make the leak check trivial (the file either exists or
+does not).
+
+Lifecycle: the parent *owns* every exported block.  Sharing through
+:func:`share_for_backend` registers an unlink callback on the backend,
+so ``backend.close()`` removes the files and detaches the handle from
+the graph (later pickles fall back to by-value) — including after a
+worker crash, because ownership never leaves the parent.  An
+``atexit`` sweep removes anything a hard-killed session left behind.
+
+Serial and thread backends never touch this module's machinery:
+:func:`share_for_backend` is a no-op for them (same address space — a
+pickle is never taken, so there is nothing to share).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.social.csr import CSRGraph
+
+__all__ = [
+    "SharedArrayHandle",
+    "SharedCSRHandle",
+    "attach_array",
+    "attach_csr",
+    "release_csr",
+    "resolve_array",
+    "share_csr",
+    "share_for_backend",
+    "share_task_arrays",
+]
+
+#: Directories this process exported and still owns (for the atexit
+#: sweep; removed eagerly by :func:`release_csr`).
+_owned_dirs: set[str] = set()
+
+#: Worker-side attach cache: one mmap per exported array per process,
+#: keyed by handle.  Hit by every chunk after the first, so repeated
+#: task pickles of the same graph cost no new mappings.
+_attached_arrays: dict["SharedArrayHandle", np.ndarray] = {}
+
+#: Worker-side graph cache: one CSRGraph per handle per process, so
+#: its lazily-built derived views (sorted lookup, undirected) are also
+#: computed once per worker, not once per chunk.
+_attached_graphs: dict["SharedCSRHandle", CSRGraph] = {}
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable pointer to one exported array (file + geometry)."""
+
+    path: str
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable pointer to a full dual-direction CSR export."""
+
+    n_users: int
+    out: tuple[SharedArrayHandle, SharedArrayHandle, SharedArrayHandle]
+    into: tuple[SharedArrayHandle, SharedArrayHandle, SharedArrayHandle]
+
+
+def _export_array(array: np.ndarray, directory: str, name: str) -> SharedArrayHandle:
+    """Write one array to ``directory/name.bin`` and hand back a handle."""
+    path = os.path.join(directory, f"{name}.bin")
+    np.ascontiguousarray(array).tofile(path)
+    return SharedArrayHandle(
+        path=path,
+        shape=tuple(array.shape),
+        dtype=np.dtype(array.dtype).str,
+    )
+
+
+def attach_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Read-only zero-copy view of an exported array (memoized)."""
+    cached = _attached_arrays.get(handle)
+    if cached is None:
+        cached = np.memmap(
+            handle.path,
+            dtype=np.dtype(handle.dtype),
+            mode="r",
+            shape=handle.shape,
+        )
+        _attached_arrays[handle] = cached
+    return cached
+
+
+def share_csr(csr: CSRGraph, directory: str | None = None) -> SharedCSRHandle:
+    """Export a graph's six arrays to files and tag the graph.
+
+    After this call the graph pickles as its handle
+    (:meth:`CSRGraph.__reduce__`), so tasks embedding it ship bytes
+    proportional to a few path strings.  The caller (parent process)
+    owns the files — pair with :func:`release_csr`, or go through
+    :func:`share_for_backend` to tie the lifetime to a backend.
+    """
+    existing = getattr(csr, "_shm_handle", None)
+    if existing is not None:
+        return existing
+    directory = directory or tempfile.mkdtemp(prefix="repro-shm-")
+    _owned_dirs.add(directory)
+    handle = SharedCSRHandle(
+        n_users=csr.n_users,
+        out=(
+            _export_array(csr.out_indptr, directory, "out_indptr"),
+            _export_array(csr.out_indices, directory, "out_indices"),
+            _export_array(csr.out_strength, directory, "out_strength"),
+        ),
+        into=(
+            _export_array(csr.in_indptr, directory, "in_indptr"),
+            _export_array(csr.in_indices, directory, "in_indices"),
+            _export_array(csr.in_strength, directory, "in_strength"),
+        ),
+    )
+    csr._shm_handle = handle
+    return handle
+
+
+def attach_csr(handle: SharedCSRHandle) -> CSRGraph:
+    """Rebuild a :class:`CSRGraph` over attached memmap views.
+
+    The unpickle target of a shared graph (memoized per process).  The
+    views are read-only, matching the frozen contract of the original
+    arrays; derived lazy views (sorted lookup, neglog strengths,
+    undirected adjacency) rebuild deterministically on first use.
+    """
+    cached = _attached_graphs.get(handle)
+    if cached is None:
+        cached = CSRGraph(
+            handle.n_users,
+            tuple(attach_array(part) for part in handle.out),
+            tuple(attach_array(part) for part in handle.into),
+        )
+        _attached_graphs[handle] = cached
+    return cached
+
+
+def release_csr(csr: CSRGraph) -> None:
+    """Unlink a shared graph's files and detach its handle.
+
+    Idempotent.  After release the graph pickles by value again, so a
+    surviving estimator on a fresh backend keeps working — it just
+    loses the zero-copy path until shared again.
+    """
+    handle = getattr(csr, "_shm_handle", None)
+    if handle is None:
+        return
+    del csr._shm_handle
+    directory = os.path.dirname(handle.out[0].path)
+    _owned_dirs.discard(directory)
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def share_for_backend(csr: CSRGraph, backend) -> SharedCSRHandle | None:
+    """Share a graph iff ``backend`` pickles tasks across processes.
+
+    Serial and thread backends share the caller's address space — no
+    pickle, nothing to export — so they bypass shm entirely (returns
+    None).  For a live process pool the graph is exported once and an
+    unlink callback registered on the backend: ``backend.close()``
+    removes the files and detaches the handle, including when workers
+    died mid-flight (the parent owns the blocks throughout).
+    """
+    if getattr(backend, "name", None) != "process":
+        return None
+    if getattr(backend, "closed", False):
+        return None
+    already_shared = getattr(csr, "_shm_handle", None) is not None
+    handle = share_csr(csr)
+    if not already_shared:
+        register = getattr(backend, "add_cleanup", None)
+        if register is not None:
+            register(lambda: release_csr(csr))
+    return handle
+
+
+def share_task_arrays(
+    arrays: dict[str, np.ndarray], backend
+) -> dict[str, SharedArrayHandle] | None:
+    """Export a task's large arrays iff ``backend`` pickles to workers.
+
+    The generic sibling of :func:`share_for_backend` for tasks whose
+    payload is plain arrays rather than a :class:`CSRGraph` — e.g. the
+    RR sampler's reversed skeleton
+    (:class:`~repro.sketch.rrset.RRSampleTask`), which dwarfs the graph
+    itself at scale.  Returns ``{name: handle}`` for the caller to
+    substitute into the task (workers re-materialize the arrays with
+    :func:`resolve_array`), or None for serial/thread backends, whose
+    tasks are never pickled.  The files live until ``backend.close()``
+    (or the atexit sweep); the parent owns them throughout, so a worker
+    crash leaks nothing past the backend's lifetime.
+    """
+    if getattr(backend, "name", None) != "process":
+        return None
+    if getattr(backend, "closed", False):
+        return None
+    directory = tempfile.mkdtemp(prefix="repro-shm-")
+    _owned_dirs.add(directory)
+    handles = {
+        name: _export_array(array, directory, name)
+        for name, array in arrays.items()
+    }
+
+    def release() -> None:
+        _owned_dirs.discard(directory)
+        shutil.rmtree(directory, ignore_errors=True)
+
+    register = getattr(backend, "add_cleanup", None)
+    if register is not None:
+        register(release)
+    return handles
+
+
+def resolve_array(value) -> np.ndarray:
+    """Attach a :class:`SharedArrayHandle`; pass arrays through.
+
+    Task bodies call this on fields that may ship either by value
+    (serial/thread, small graphs) or by handle
+    (:func:`share_task_arrays`), so one code path serves both.
+    """
+    if isinstance(value, SharedArrayHandle):
+        return attach_array(value)
+    return value
+
+
+@atexit.register
+def _cleanup_owned() -> None:  # pragma: no cover - interpreter exit
+    for directory in list(_owned_dirs):
+        shutil.rmtree(directory, ignore_errors=True)
+    _owned_dirs.clear()

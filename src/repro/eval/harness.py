@@ -32,10 +32,12 @@ from repro.baselines import (
     run_ps,
 )
 from repro.core.dysim import Dysim, DysimConfig
-from repro.core.problem import IMDPPInstance, SeedGroup
+from repro.core.dysim.nominees import select_nominees
+from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.montecarlo import SigmaEstimator
 from repro.engine import ExecutionBackend
+from repro.sketch.oracle import make_sigma_estimator
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -95,9 +97,66 @@ def run_dysim(
     )
 
 
+def run_dysim_select(
+    instance: IMDPPInstance,
+    n_samples: int = 12,
+    seed: int = 0,
+    model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
+    oracle: str = "rrset",
+    candidate_pool: int | None = 150,
+    singleton_pool: int | None = 1,
+    gain_batch: int | None = None,
+) -> BaselineResult:
+    """Selection-only Dysim: the frozen-phase MCP greedy alone.
+
+    The scalability vehicle for the coverage oracles (Fig. 9's x-axis
+    pushed to 10^6 users): market identification, DRE and TDSI are
+    skipped, the selected nominees are all seeded in the first
+    promotion, and sigma is the selection oracle's own frozen-phase
+    estimate — no Monte-Carlo re-simulation, whose per-sample frontier
+    walks are what make full Dysim infeasible at this scale.
+    """
+    frozen = instance.frozen()
+    estimator = make_sigma_estimator(
+        oracle,
+        frozen,
+        model=model,
+        n_samples=n_samples,
+        rng_factory=RngFactory(seed),
+        backend=backend,
+        workers=workers,
+    )
+    started = time.perf_counter()
+    selection = select_nominees(
+        frozen,
+        estimator,
+        candidate_pool,
+        singleton_pool=singleton_pool,
+        gain_batch=gain_batch,
+    )
+    seed_group = SeedGroup(
+        Seed(user, item, 1) for user, item in sorted(selection.nominees)
+    )
+    return BaselineResult(
+        name="DysimSelect",
+        seed_group=seed_group,
+        sigma=selection.frozen_value,
+        runtime_seconds=time.perf_counter() - started,
+        diagnostics={
+            "n_oracle_calls": selection.n_oracle_calls,
+            "total_cost": selection.total_cost,
+            "oracle": oracle,
+            "backend": getattr(estimator.backend, "name", "serial"),
+        },
+    )
+
+
 #: Algorithm registry used by the figure benchmarks.
 ALGORITHMS: dict[str, Callable[..., BaselineResult]] = {
     "Dysim": run_dysim,
+    "DysimSelect": run_dysim_select,
     "BGRD": run_bgrd,
     "HAG": run_hag,
     "PS": run_ps,

@@ -21,7 +21,13 @@ the same worlds.  This package provides:
   computing all M worlds' reachability in one vectorized pass
   (``--reach-kernel packed``, the default; ``per-world`` keeps the
   original M-BFS loop as the bit-identity reference);
-* :func:`make_sigma_estimator` — the ``--oracle mc|sketch`` factory.
+* :mod:`repro.sketch.rrset` — the RIS/IMM-style reverse-reachable-set
+  oracle (:class:`RRSetIndex` + :class:`RRSetSigmaEstimator`): sample
+  RR sets once per (instance, seed-stream, R), then sigma of *any*
+  candidate set is a coverage count — selection cost independent of
+  graph size, the million-node path;
+* :func:`make_sigma_estimator` — the ``--oracle mc|sketch|rrset``
+  factory.
 """
 
 from repro.sketch.bank import (
@@ -44,6 +50,13 @@ from repro.sketch.reachkernel import (
     get_default_reach_kernel,
     set_default_reach_kernel,
 )
+from repro.sketch.rrset import (
+    RRSampleTask,
+    RRSetIndex,
+    RRSetSigmaEstimator,
+    sample_rrsets_chunk,
+    suggest_sample_count,
+)
 
 __all__ = [
     "DEFAULT_EXTRA_ADOPTION_FLOOR",
@@ -52,6 +65,9 @@ __all__ = [
     "REACH_KERNEL_NAMES",
     "CoverageEvaluator",
     "ProbabilitySkeleton",
+    "RRSampleTask",
+    "RRSetIndex",
+    "RRSetSigmaEstimator",
     "ReachCacheStats",
     "ReachabilitySketch",
     "RealizationBank",
@@ -63,5 +79,7 @@ __all__ = [
     "build_worlds_chunk",
     "get_default_reach_kernel",
     "make_sigma_estimator",
+    "sample_rrsets_chunk",
     "set_default_reach_kernel",
+    "suggest_sample_count",
 ]

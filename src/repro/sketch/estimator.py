@@ -107,6 +107,17 @@ class SketchSigmaEstimator(SigmaEstimator):
         )
 
     @property
+    def supports_coverage_selection(self) -> bool:
+        """Nominee selection may route through :meth:`select_budgeted`.
+
+        The common dispatch surface shared with
+        :class:`~repro.sketch.rrset.RRSetSigmaEstimator` — consumers
+        test this attribute instead of isinstance-checking each
+        coverage-capable estimator family.
+        """
+        return self.supports_sketch
+
+    @property
     def bank(self) -> RealizationBank:
         """The realization bank (built on first access)."""
         if self._bank is None:

@@ -4,7 +4,10 @@ The CLI's ``--oracle`` flag, ``DysimConfig.oracle`` and the baselines'
 ``oracle`` keyword all resolve through :func:`make_sigma_estimator`:
 ``"mc"`` builds the Monte-Carlo :class:`SigmaEstimator`, ``"sketch"``
 the :class:`SketchSigmaEstimator` (realization bank + reachability
-sketches, with transparent MC fallback for unsupported queries).
+sketches, with transparent MC fallback for unsupported queries), and
+``"rrset"`` the :class:`RRSetSigmaEstimator` (reverse-reachable-set
+coverage, the million-node selection path — same transparent MC
+fallback).
 """
 
 from __future__ import annotations
@@ -15,12 +18,13 @@ from repro.diffusion.montecarlo import SigmaEstimator
 from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import SigmaCache
 from repro.sketch.estimator import SketchSigmaEstimator
+from repro.sketch.rrset import RRSetSigmaEstimator
 from repro.utils.rng import RngFactory
 
 __all__ = ["ORACLE_NAMES", "make_sigma_estimator"]
 
 #: Spelled-out oracle kinds (CLI / config).
-ORACLE_NAMES = ("mc", "sketch")
+ORACLE_NAMES = ("mc", "rrset", "sketch")
 
 
 def make_sigma_estimator(
@@ -58,4 +62,6 @@ def make_sigma_estimator(
         return SketchSigmaEstimator(
             instance, reach_kernel=reach_kernel, **kwargs
         )
+    if kind == "rrset":
+        return RRSetSigmaEstimator(instance, **kwargs)
     return SigmaEstimator(instance, **kwargs)

@@ -332,5 +332,29 @@ class CSRGraph:
         builder.n_arcs = self.n_arcs
         return builder
 
+    def __reduce__(self):
+        """Pickle by constructor — or by shared-memory handle.
+
+        Once :func:`repro.engine.shm.share_csr` has exported this
+        graph, pickles carry only the tiny handle and workers attach
+        the arrays as read-only memmaps (zero-copy; one mapping per
+        worker process).  Either way the lazy derived views are
+        dropped and rebuilt deterministically on first use, so a
+        pickle round trip can never ship — or diverge — cached state.
+        """
+        handle = getattr(self, "_shm_handle", None)
+        if handle is not None:
+            from repro.engine.shm import attach_csr
+
+            return (attach_csr, (handle,))
+        return (
+            CSRGraph,
+            (
+                self.n_users,
+                (self.out_indptr, self.out_indices, self.out_strength),
+                (self.in_indptr, self.in_indices, self.in_strength),
+            ),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph({self.n_users} users, {self.n_arcs} arcs)"

@@ -135,7 +135,21 @@ class RunConfig:
 
     def __init__(self, spec: str, params: Mapping):
         self.spec = str(spec)
-        self.params = canonical_params(dict(params))
+        params = dict(params)
+        # Registry datasets are loaded at an explicit user-count scale
+        # (default 1.0).  Pin the default into the canonical params so
+        # a spec that later sweeps ``scale`` cannot alias its scale=1.0
+        # point onto historical rows that omitted the key — the two are
+        # the same run, and now hash the same.  Course datasets are
+        # replayed logs with no scale knob, so they stay untouched.
+        dataset = params.get("dataset")
+        if (
+            isinstance(dataset, str)
+            and not dataset.startswith("courses/")
+            and params.get("scale") is None
+        ):
+            params["scale"] = 1.0
+        self.params = canonical_params(params)
         self.config_hash = config_hash(self.params)
 
     def __hash__(self) -> int:

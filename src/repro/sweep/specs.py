@@ -228,6 +228,31 @@ def build_specs(scale: SampleScale | None = None) -> dict[str, SweepSpec]:
         refine=_fig9_scale_refine,
         artifacts=("fig9h_scalability",),
     ))
+    # Fig. 9(h) extension: selection-only runtime pushed to 10^6 users
+    # on synthetic sparse graphs.  DysimSelect runs the frozen-phase
+    # MCP greedy over the RR-set coverage oracle and reports the
+    # oracle's own sigma (eval_samples=0 — Monte-Carlo re-simulation is
+    # exactly the cost this oracle avoids).  n_samples is the RR-set
+    # count R, not an MC replication count, so it is pinned here rather
+    # than taken from SampleScale.
+    add(SweepSpec(
+        name="fig9h_scale",
+        title="Fig 9(h) scale-up: selection-only runtime to 1M users",
+        axes={"dataset": ("synth-100k", "synth-1m")},
+        base={
+            "algorithm": "DysimSelect",
+            "oracle": "rrset",
+            # Per-run estimator backend (the sweep CLI's --backend only
+            # fans *runs* out): RR sampling crosses into process
+            # workers through the shared-memory task arrays.
+            "backend": "process",
+            "workers": 2,
+            "n_samples": 128,
+            "eval_samples": 0,
+            "algorithm_kwargs": {"candidate_pool": 200},
+        },
+        artifacts=("fig9h_scale_selection",),
+    ))
 
     # -- Fig. 10: ablation (w/o TM, w/o IP) --------------------------
     def fig10_refine(params: dict) -> dict:

@@ -1,0 +1,202 @@
+"""Shared-memory CSR lifecycle: attach bit-identity, leaks, bypass.
+
+The shm layer's contract (``repro.engine.shm``) is lifecycle-shaped,
+so the tests are too: exported arrays must come back bit-identical
+through a real process-pool round trip, the exported files must live
+exactly as long as the backend that ships their handles (including
+after worker death — the parent owns the blocks), and serial / thread
+backends must bypass the machinery entirely.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.engine.shm import (
+    SharedArrayHandle,
+    attach_array,
+    attach_csr,
+    release_csr,
+    resolve_array,
+    share_csr,
+    share_for_backend,
+    share_task_arrays,
+)
+from repro.sketch.rrset import RRSetIndex
+from tests.conftest import build_tiny_instance, build_tiny_network
+
+
+def _csr_arrays(csr):
+    return (
+        csr.out_indptr, csr.out_indices, csr.out_strength,
+        csr.in_indptr, csr.in_indices, csr.in_strength,
+    )
+
+
+def _shm_dir(csr) -> str:
+    return os.path.dirname(csr._shm_handle.out[0].path)
+
+
+# ---------------------------------------------------------------------------
+# attach bit-identity
+# ---------------------------------------------------------------------------
+def test_share_attach_roundtrip_is_bit_identical():
+    csr = build_tiny_network().csr
+    share_csr(csr)
+    try:
+        # The pickle payload is the handle, the unpickle target is an
+        # attached memmap graph — exactly what a process worker sees.
+        clone = pickle.loads(pickle.dumps(csr))
+        for ours, theirs in zip(_csr_arrays(csr), _csr_arrays(clone)):
+            assert np.array_equal(ours, theirs)
+            assert ours.dtype == theirs.dtype
+        assert clone.n_users == csr.n_users
+        assert clone.n_arcs == csr.n_arcs
+    finally:
+        release_csr(csr)
+
+
+def test_attach_is_memoized_per_handle():
+    csr = build_tiny_network().csr
+    handle = share_csr(csr)
+    try:
+        assert attach_csr(handle) is attach_csr(handle)
+        assert attach_array(handle.out[0]) is attach_array(handle.out[0])
+    finally:
+        release_csr(csr)
+
+
+def test_rrset_index_identical_across_process_workers():
+    """Frozen sampling through shm task arrays matches serial exactly."""
+    instance = build_tiny_instance().frozen()
+    serial = RRSetIndex.from_instance(instance, n_samples=16, rng_seed=2)
+    with ProcessPoolBackend(workers=2, chunk_size=1) as backend:
+        shipped = RRSetIndex.from_instance(
+            instance, n_samples=16, rng_seed=2, backend=backend,
+            chunk_size=1,
+        )
+    assert np.array_equal(serial.member, shipped.member)
+    assert np.array_equal(serial.roots, shipped.roots)
+
+
+# ---------------------------------------------------------------------------
+# lifecycle / leak checks
+# ---------------------------------------------------------------------------
+def test_backend_close_unlinks_files_and_detaches_handle():
+    csr = build_tiny_network().csr
+    backend = ProcessPoolBackend(workers=1)
+    handle = share_for_backend(csr, backend)
+    assert handle is not None
+    directory = _shm_dir(csr)
+    assert os.path.isdir(directory)
+    backend.close()
+    assert not os.path.exists(directory)
+    assert getattr(csr, "_shm_handle", None) is None
+    # Post-release pickles fall back to by-value and stay correct.
+    clone = pickle.loads(pickle.dumps(csr))
+    assert np.array_equal(clone.out_indices, csr.out_indices)
+
+
+def test_release_is_idempotent_and_resharing_works():
+    csr = build_tiny_network().csr
+    share_csr(csr)
+    directory = _shm_dir(csr)
+    release_csr(csr)
+    release_csr(csr)  # second release is a no-op
+    assert not os.path.exists(directory)
+    handle = share_csr(csr)  # sharing again re-exports cleanly
+    try:
+        assert os.path.isfile(handle.out[0].path)
+    finally:
+        release_csr(csr)
+
+
+def test_sharing_twice_reuses_the_export():
+    csr = build_tiny_network().csr
+    backend = ProcessPoolBackend(workers=1)
+    try:
+        first = share_for_backend(csr, backend)
+        second = share_for_backend(csr, backend)
+        assert first is second
+        assert len(backend._cleanups) == 1  # one unlink, not two
+    finally:
+        backend.close()
+
+
+def test_parent_owns_blocks_across_worker_crash():
+    """Worker death must not unlink blocks the parent still owns."""
+    csr = build_tiny_network().csr
+    backend = ProcessPoolBackend(workers=1)
+    try:
+        share_for_backend(csr, backend)
+        directory = _shm_dir(csr)
+        # Simulate the crash aftermath: the pool's workers are gone,
+        # but the parent has not closed the backend yet — the files
+        # must still exist (this is the bpo-38119 hazard the
+        # file-backed design avoids).
+        backend.executor.shutdown(wait=True)
+        assert os.path.isdir(directory)
+    finally:
+        backend.close()
+    assert not os.path.exists(directory)
+
+
+def test_closed_backend_refuses_new_shares():
+    csr = build_tiny_network().csr
+    backend = ProcessPoolBackend(workers=1)
+    backend.close()
+    assert share_for_backend(csr, backend) is None
+    assert getattr(csr, "_shm_handle", None) is None
+
+
+# ---------------------------------------------------------------------------
+# serial / thread bypass
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "backend_factory", [SerialBackend, lambda: ThreadBackend(workers=2)]
+)
+def test_same_address_space_backends_bypass_shm(backend_factory):
+    csr = build_tiny_network().csr
+    backend = backend_factory()
+    try:
+        assert share_for_backend(csr, backend) is None
+        assert share_task_arrays({"x": np.arange(4)}, backend) is None
+        assert getattr(csr, "_shm_handle", None) is None
+    finally:
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# generic task arrays
+# ---------------------------------------------------------------------------
+def test_share_task_arrays_roundtrip_and_cleanup():
+    arrays = {
+        "indptr": np.arange(5, dtype=np.int64),
+        "prob": np.linspace(0.0, 1.0, 7),
+    }
+    backend = ProcessPoolBackend(workers=1)
+    handles = share_task_arrays(arrays, backend)
+    assert handles is not None and set(handles) == set(arrays)
+    directory = os.path.dirname(handles["indptr"].path)
+    for name, handle in handles.items():
+        assert isinstance(handle, SharedArrayHandle)
+        # Handles survive a pickle round trip (they ride inside tasks)
+        # and resolve to bit-identical read-only views.
+        restored = resolve_array(pickle.loads(pickle.dumps(handle)))
+        assert np.array_equal(restored, arrays[name])
+        assert restored.dtype == arrays[name].dtype
+        assert not restored.flags.writeable
+    backend.close()
+    assert not os.path.exists(directory)
+
+
+def test_resolve_array_passes_plain_arrays_through():
+    array = np.arange(3)
+    assert resolve_array(array) is array

@@ -71,6 +71,7 @@ def _bgrd():
 SCENARIOS = {
     "dysim_mc": lambda: _dysim("mc"),
     "dysim_sketch": lambda: _dysim("sketch"),
+    "dysim_rrset": lambda: _dysim("rrset"),
     "adaptive_dysim": _adaptive,
     "hag": _hag,
     "bgrd": _bgrd,
@@ -103,3 +104,56 @@ def test_golden(name):
     assert actual["sigma"] == pytest.approx(
         expected["sigma"], rel=1e-9, abs=1e-9
     ), f"{name}: sigma drifted"
+
+
+#: Per-oracle sample counts at which the three selection oracles agree
+#: on amazon-small at budget 50 — "tight epsilon" for this instance.
+#: The coverage oracles are noise-free on their fixed worlds; mc needs
+#: enough replications that no candidate pair is within one standard
+#: error of a flip, and rrset needs a large sample family because its
+#: per-sample signal is a Bernoulli at small coverage rates.
+CROSS_ORACLE_SAMPLES = {"mc": 200, "sketch": 400, "rrset": 32768}
+
+
+def test_cross_oracle_selection_consistency():
+    """All three sigma oracles select the same pinned seed set.
+
+    The oracle choice is an *implementation* knob: at tight enough
+    epsilon every oracle optimizes the same frozen objective, so the
+    selected seeds must coincide (and match the committed golden) even
+    though the estimators share no randomness.
+    """
+    from repro.eval.harness import run_dysim_select
+
+    instance = load_dataset("amazon-small").with_budget(50.0)
+    outcomes = {}
+    for oracle, n_samples in CROSS_ORACLE_SAMPLES.items():
+        result = run_dysim_select(
+            instance,
+            n_samples=n_samples,
+            seed=7,
+            oracle=oracle,
+            candidate_pool=40,
+        )
+        outcomes[oracle] = _serialize(result.seed_group, result.sigma)
+
+    seed_sets = {oracle: out["seeds"] for oracle, out in outcomes.items()}
+    assert seed_sets["mc"] == seed_sets["sketch"] == seed_sets["rrset"], (
+        f"oracles disagree on the selected seeds: {seed_sets}"
+    )
+
+    actual = {
+        "seeds": seed_sets["mc"],
+        "sigma": {o: out["sigma"] for o, out in outcomes.items()},
+    }
+    path = FIXTURES / "cross_oracle_select.json"
+    if REGEN:
+        FIXTURES.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    expected = json.loads(path.read_text())
+    assert actual["seeds"] == expected["seeds"]
+    for oracle, sigma in expected["sigma"].items():
+        assert actual["sigma"][oracle] == pytest.approx(
+            sigma, rel=1e-9, abs=1e-9
+        ), f"{oracle}: selection sigma drifted"

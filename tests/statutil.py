@@ -1,0 +1,50 @@
+"""Statistical assertion helpers for estimator tests.
+
+Monte-Carlo style estimates are random variables; asserting exact
+equality against a reference is wrong, and asserting loose absolute
+tolerances hides real bias.  The right gate is the estimator's own
+standard error: an unbiased estimate lands within ``n_se`` standard
+errors of the truth except with probability bounded by Chebyshev
+(``1/n_se^2``) — and the tests that use these helpers are
+*derandomized* (pinned seed-streams), so a pass/fail is a
+deterministic regression signal, not a coin flip that happens to be
+weighted heavily.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["assert_within_se", "standard_error"]
+
+
+def standard_error(sample_std: float, n_samples: int) -> float:
+    """Standard error of a mean from its sample std and count."""
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    return float(sample_std) / math.sqrt(n_samples)
+
+
+def assert_within_se(
+    estimate: float,
+    reference: float,
+    se: float,
+    n_se: float = 5.0,
+    context: str = "",
+) -> None:
+    """Assert ``|estimate - reference| <= n_se * se`` (plus an epsilon).
+
+    ``se`` is the standard error of the *difference* being tested —
+    for two independent estimates, combine their individual standard
+    errors before calling.  The epsilon keeps zero-variance cases
+    (e.g. a seed set covering every sample) from failing on the last
+    ulp of two different float reduction orders.
+    """
+    tolerance = float(n_se) * float(se) + 1e-9
+    gap = abs(float(estimate) - float(reference))
+    label = f" [{context}]" if context else ""
+    assert gap <= tolerance, (
+        f"estimate {estimate} is {gap:.6g} away from reference "
+        f"{reference} — more than {n_se} standard errors "
+        f"({tolerance:.6g}){label}"
+    )

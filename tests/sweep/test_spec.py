@@ -142,6 +142,50 @@ class TestSweepSpec:
         assert len(keys) == 4
         assert [seed for _, seed in keys] == [0, 7, 0, 7]
 
+    def test_dataset_scale_default_pinned_into_hash(self):
+        """Registry datasets hash with their scale made explicit.
+
+        A spec that later sweeps ``scale`` must not alias its
+        scale=1.0 point onto historical rows that omitted the key —
+        both spell the same run, so they must hash the same.
+        """
+        implicit = RunConfig("s", {"dataset": "yelp", "budget": 100.0})
+        explicit = RunConfig(
+            "s", {"dataset": "yelp", "budget": 100.0, "scale": 1.0}
+        )
+        assert implicit.params["scale"] == 1.0
+        assert implicit.config_hash == explicit.config_hash
+        # An explicit non-default scale is a different config.
+        other = RunConfig(
+            "s", {"dataset": "yelp", "budget": 100.0, "scale": 0.5}
+        )
+        assert other.config_hash != implicit.config_hash
+
+    def test_dataset_scale_pinned_hash_literal(self):
+        # Regression anchor for the scale-aliasing fix: this is the
+        # hash both the implicit and explicit spellings must produce.
+        # If it moves, historical store rows are orphaned — bump
+        # SCHEMA_VERSION rather than silently rehashing.
+        config = RunConfig("s", {"dataset": "yelp", "budget": 100.0})
+        assert config.config_hash == config_hash(
+            {"dataset": "yelp", "budget": 100.0, "scale": 1.0}
+        )
+        assert config.config_hash == "13a9c36f5889259e"
+
+    def test_course_datasets_have_no_scale_knob(self):
+        config = RunConfig("s", {"dataset": "courses/A", "budget": 50.0})
+        assert "scale" not in config.params
+
+    def test_non_dataset_configs_untouched(self):
+        config = RunConfig("s", {"algorithm": "stats"})
+        assert "scale" not in config.params
+
+    def test_explicit_none_scale_replaced(self):
+        config = RunConfig(
+            "s", {"dataset": "yelp", "scale": None, "budget": 100.0}
+        )
+        assert config.params["scale"] == 1.0
+
     def test_runconfig_equality_by_hash(self):
         a = RunConfig("s", {"x": 1, "y": 2})
         b = RunConfig("s", {"y": 2, "x": 1})
