@@ -61,12 +61,16 @@ def test_engine_scaling(dataset_cache):
     rows = [["serial", 1, f"{serial_seconds:.3f}", "1.00"]]
 
     thread = ThreadBackend(workers=ENGINE_WORKERS)
+    # Process workers are capped at the core count (requesting more
+    # only added pickling overhead — the BENCH_v7 0.79x regression on a
+    # 1-core runner); the *effective* count is what the table and the
+    # bench context report.
     process = ProcessPoolBackend(workers=ENGINE_WORKERS)
     # Warm the process pool outside the timed region: pool start-up is
     # a one-off cost, not part of the steady-state throughput story.
     # Workers spawn on demand, so park one overlapping task per worker
     # to force the whole pool up — a single no-op would start just one.
-    list(process.executor.map(time.sleep, [0.05] * ENGINE_WORKERS))
+    list(process.executor.map(time.sleep, [0.05] * process.workers))
 
     results = {}
     try:
@@ -75,7 +79,7 @@ def test_engine_scaling(dataset_cache):
             results[backend.name] = (estimate, seconds)
             speedup = serial_seconds / seconds if seconds > 0 else 0.0
             rows.append(
-                [backend.name, ENGINE_WORKERS, f"{seconds:.3f}", f"{speedup:.2f}"]
+                [backend.name, backend.workers, f"{seconds:.3f}", f"{speedup:.2f}"]
             )
     finally:
         thread.close()
@@ -90,8 +94,8 @@ def test_engine_scaling(dataset_cache):
         # serial ratios depend on the runner's core count.
         "engine_scaling", process_recorded * 1e3,
         serial_seconds / process_recorded if process_recorded > 0 else 0.0,
-        workers=ENGINE_WORKERS, samples=ENGINE_SAMPLES,
-        cpu_count=os.cpu_count() or 1,
+        workers=process.workers, requested_workers=ENGINE_WORKERS,
+        samples=ENGINE_SAMPLES, cpu_count=os.cpu_count() or 1,
     )
 
     # Bit-identity across backends (the engine's core guarantee).

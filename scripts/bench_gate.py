@@ -94,6 +94,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{base.get('speedup', 'n/a')}x, candidate "
             f"{cand.get('speedup', 'n/a')}x"
         )
+    for name in candidate["tracked"]:
+        # New tracked series (candidate-only) have no baseline to gate
+        # against yet; surface them so the next re-baseline picks them
+        # up instead of letting them ride along invisibly.
+        if name not in baseline["tracked"]:
+            cand = candidate["series"].get(name, {})
+            print(
+                f"bench_gate: {name}: NEW series, candidate "
+                f"{cand.get('speedup', 'n/a')}x (no baseline, not gated)"
+            )
     if failures:
         for failure in failures:
             print(f"bench_gate: REGRESSION {failure}", file=sys.stderr)

@@ -30,10 +30,12 @@ can never change which seeds are selected.
 
 ``--reach-kernel`` selects how the sketch oracle's realization bank
 computes reachability stacks: ``packed`` (default) answers all sampled
-worlds in one bit-parallel multi-world BFS; ``per-world`` runs the
-original one-BFS-per-world loop, retained as the bit-identity
-reference.  Stacks, selections and sigma values are identical either
-way — only wall-clock differs.
+worlds in one bit-parallel multi-world BFS; ``packed-jit`` routes the
+same BFS through a numba-compiled worklist loop (optional ``[jit]``
+extra; degrades to ``packed`` with a warning when numba is missing);
+``per-world`` runs the original one-BFS-per-world loop, retained as
+the bit-identity reference.  Stacks, selections and sigma values are
+identical either way — only wall-clock differs.
 
 ``sweep`` drives declarative experiment campaigns (``repro.sweep``)::
 
@@ -41,7 +43,7 @@ way — only wall-clock differs.
     repro sweep run --spec fig9h        # resumed: zero new runs
     repro sweep status                  # store row counts per spec
     repro sweep render fig9h            # regenerate the txt artifact(s)
-    repro sweep bench --out benchmarks/results/BENCH_v7.json
+    repro sweep bench --out benchmarks/results/BENCH_v8.json
 
 ``run`` is resumable: results are keyed by (config hash, seed-stream)
 in an append-only store (default ``benchmarks/results/store/``), so an
@@ -220,9 +222,10 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         choices=sorted(REACH_KERNEL_NAMES),
         help="reachability kernel of the sketch oracle's realization "
         "bank: 'packed' computes all sampled worlds in one "
-        "bit-parallel multi-world BFS (default), 'per-world' runs "
-        "one BFS per world (the bit-identity reference); stacks and "
-        "sigma values are identical either way",
+        "bit-parallel multi-world BFS (default), 'packed-jit' adds "
+        "the numba-compiled worklist loop (optional [jit] extra), "
+        "'per-world' runs one BFS per world (the bit-identity "
+        "reference); stacks and sigma values are identical either way",
     )
 
 

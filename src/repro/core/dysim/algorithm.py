@@ -100,9 +100,12 @@ class DysimConfig:
         oracle that can observe evolving perceptions.
     reach_kernel:
         Reachability kernel of the sketch oracle's realization bank:
-        ``"packed"`` (bit-parallel multi-world BFS, the default) or
-        ``"per-world"`` (one BFS per realized world — the
-        bit-identity reference).  ``None`` resolves the process-wide
+        ``"packed"`` (bit-parallel multi-world BFS, the default),
+        ``"packed-jit"`` (the same BFS through a numba-compiled
+        worklist loop; optional ``[jit]`` extra, degrades to
+        ``"packed"`` with a warning) or ``"per-world"`` (one BFS per
+        realized world — the bit-identity reference).  ``None``
+        resolves the process-wide
         default (CLI ``--reach-kernel``).  Stacks and sigma values are
         bit-identical across kernels, so this is a pure perf knob;
         ignored under the mc oracle.

@@ -676,22 +676,22 @@ def mcp_lazy_greedy(
     current_value = float(oracle.value)
 
     # Heap entries: (-ratio, tie_breaker, element, evaluated_at_size).
+    # Primed as a flat list + one heapify: keys are distinct (the
+    # tie_breaker), so the pop sequence is identical to element-wise
+    # pushes whatever the internal array layout.
     heap: list[tuple[float, int, Hashable, int]] = []
     for start in range(0, len(elements), batch):
         block = elements[start : start + batch]
         gains = oracle.gains(block)
         for offset, gain in enumerate(gains):
             order = start + offset
-            heapq.heappush(
-                heap, (-float(gain) / costs[order], order, block[offset], 0)
+            heap.append(
+                (-float(gain) / costs[order], order, block[offset], 0)
             )
+    heapq.heapify(heap)
 
     selected: list[Hashable] = []
     spent = 0.0
-    # Prefetched gains, keyed by (tie_breaker, selection size); cleared
-    # on every commit because the selection they were measured against
-    # has changed.
-    prefetched: dict[tuple[int, int], float] = {}
 
     while heap:
         neg_ratio, order, element, evaluated_at = heapq.heappop(heap)
@@ -699,43 +699,73 @@ def mcp_lazy_greedy(
         over_budget = spent + element_cost > budget
         if over_budget and not allow_budget_violation_by_last:
             continue  # element no longer affordable; try others
-        if evaluated_at != len(selected):
-            key = (order, len(selected))
-            gain = prefetched.pop(key, None)
-            if gain is None:
-                # Prefetch: this entry plus the next stale entries in
-                # heap order share one oracle call.  Held entries are
-                # pushed back *unchanged* so the pop order the scalar
-                # loop would follow is preserved exactly.
-                batch_entries: list[tuple[int, Hashable]] = [(order, element)]
-                held: list[tuple[float, int, Hashable, int]] = []
-                while heap and len(batch_entries) < stale_batch:
-                    entry = heapq.heappop(heap)
-                    _, order2, element2, evaluated2 = entry
-                    if (
-                        spent + costs[order2] > budget
-                        and not allow_budget_violation_by_last
-                    ):
-                        continue  # drop now; spend only ever grows
-                    held.append(entry)
-                    if (
-                        evaluated2 == len(selected)
-                        or (order2, len(selected)) in prefetched
-                    ):
-                        break  # fresh (or already prefetched) — stop
-                    batch_entries.append((order2, element2))
-                gains = oracle.gains(
-                    [element2 for _, element2 in batch_entries]
-                )
-                for (order2, _), fresh_gain in zip(batch_entries, gains):
-                    prefetched[(order2, len(selected))] = float(fresh_gain)
-                for entry in held:
+        size = len(selected)
+        if evaluated_at != size:
+            # Heap-batch drain: this stale entry plus the run of stale
+            # entries at the heap top share one oracle call — same pop
+            # order and affordability drops as the one-pop loop.  A
+            # fresh entry terminates the drain and goes straight back.
+            drained: list[tuple[float, int, Hashable, int]] = [
+                (neg_ratio, order, element, evaluated_at)
+            ]
+            while heap and len(drained) < stale_batch:
+                entry = heapq.heappop(heap)
+                if (
+                    spent + costs[entry[1]] > budget
+                    and not allow_budget_violation_by_last
+                ):
+                    continue  # drop now; spend only ever grows
+                if entry[3] == size:
                     heapq.heappush(heap, entry)
-                gain = prefetched.pop(key)
-            heapq.heappush(
-                heap, (-gain / element_cost, order, element, len(selected))
-            )
-            continue
+                    break
+                drained.append(entry)
+            fresh_gains = oracle.gains([e[2] for e in drained])
+            # Replay the scalar pop sequence locally instead of
+            # bouncing entries through the global heap one at a time.
+            # The drained entries were consecutive heap minima, so
+            # until all of them re-key, the scalar loop's next pop is
+            # either the next stale drained key or the smallest
+            # re-keyed key — whichever key-compares lower.  A re-keyed
+            # entry that interposes is fresh, so it commits; the
+            # not-yet-re-keyed suffix then keeps its stale keys and
+            # its just-computed gains are discarded, exactly as the
+            # one-pop loop's prefetch cache was cleared on commit.
+            # Gains at a fixed selection are deterministic, so the
+            # committed sequence cannot drift (the bit-identity
+            # contract pinned by tests/core/test_selection.py).
+            rekeyed: list[tuple[float, int, Hashable, int]] = [
+                (
+                    -float(fresh_gains[0]) / costs[drained[0][1]],
+                    drained[0][1],
+                    drained[0][2],
+                    size,
+                )
+            ]
+            commit_entry: tuple[float, int, Hashable, int] | None = None
+            next_stale = 1
+            while next_stale < len(drained):
+                if rekeyed[0][:2] < drained[next_stale][:2]:
+                    commit_entry = heapq.heappop(rekeyed)
+                    break
+                _, order2, element2, _ = drained[next_stale]
+                heapq.heappush(
+                    rekeyed,
+                    (
+                        -float(fresh_gains[next_stale]) / costs[order2],
+                        order2,
+                        element2,
+                        size,
+                    ),
+                )
+                next_stale += 1
+            heap.extend(rekeyed)
+            heap.extend(drained[next_stale:])
+            heapq.heapify(heap)
+            if commit_entry is None:
+                continue
+            neg_ratio, order, element, evaluated_at = commit_entry
+            element_cost = costs[order]
+            over_budget = spent + element_cost > budget
         gain = -neg_ratio * element_cost
         if stop_on_negative_gain and gain <= 1e-12:
             break
@@ -743,7 +773,6 @@ def mcp_lazy_greedy(
         oracle.commit(element, gain)
         current_value += gain
         spent += element_cost
-        prefetched.clear()
         if over_budget:
             break  # the Lemma 3 variant stops right after violating
 

@@ -141,6 +141,14 @@ class _PoolBackend:
 
     name = "pool"
 
+    #: Cap the effective worker count at the machine's core count?
+    #: Process pools do (an oversubscribed pool only adds pickling and
+    #: scheduling overhead — the BENCH_v7 ``engine_scaling`` regression
+    #: was ``workers=4`` on a 1-core runner); thread pools don't, since
+    #: threads legitimately oversubscribe to overlap GIL-released
+    #: numpy sections and blocking waits.
+    cap_workers_at_cpu_count = False
+
     def __init__(
         self,
         workers: int | None = None,
@@ -148,7 +156,14 @@ class _PoolBackend:
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = workers or min(8, os.cpu_count() or 1)
+        #: What the caller asked for, before the CPU cap — bench
+        #: context records both so scaling numbers are interpretable.
+        self.requested_workers = workers
+        cpu_count = os.cpu_count() or 1
+        effective = workers or min(8, cpu_count)
+        if self.cap_workers_at_cpu_count:
+            effective = min(effective, cpu_count)
+        self.workers = effective
         self.chunk_size = int(chunk_size)
         self._executor: concurrent.futures.Executor | None = None
         self._closed = False
@@ -264,9 +279,18 @@ class ThreadBackend(_PoolBackend):
 
 
 class ProcessPoolBackend(_PoolBackend):
-    """Fan chunks out to worker processes (true parallelism)."""
+    """Fan chunks out to worker processes (true parallelism).
+
+    Requested workers beyond ``os.cpu_count()`` are capped (see
+    :attr:`requested_workers` for the original ask): extra processes
+    cannot run anywhere, and on a single-core host a 4-worker pool
+    *lost* time to pickling (``engine_scaling`` 0.79x in BENCH_v7).
+    On ``cpu_count() == 1`` the pool degenerates to one worker — the
+    bank's compute paths then prefer their serial shapes outright.
+    """
 
     name = "process"
+    cap_workers_at_cpu_count = True
 
     def _make_executor(self) -> concurrent.futures.Executor:
         return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)

@@ -50,6 +50,7 @@ __all__ = [
     "attach_csr",
     "release_csr",
     "resolve_array",
+    "resolve_arrays",
     "share_csr",
     "share_for_backend",
     "share_task_arrays",
@@ -249,6 +250,11 @@ def resolve_array(value) -> np.ndarray:
     if isinstance(value, SharedArrayHandle):
         return attach_array(value)
     return value
+
+
+def resolve_arrays(*values) -> tuple[np.ndarray, ...]:
+    """:func:`resolve_array` over several task fields at once."""
+    return tuple(resolve_array(value) for value in values)
 
 
 @atexit.register

@@ -19,8 +19,10 @@ the same worlds.  This package provides:
   fast path);
 * :mod:`repro.sketch.reachkernel` — the bit-parallel multi-world BFS
   computing all M worlds' reachability in one vectorized pass
-  (``--reach-kernel packed``, the default; ``per-world`` keeps the
-  original M-BFS loop as the bit-identity reference);
+  (``--reach-kernel packed``, the default; ``packed-jit`` routes the
+  same BFS through a numba-compiled worklist loop when the optional
+  ``jit`` extra is installed; ``per-world`` keeps the original M-BFS
+  loop as the bit-identity reference);
 * :mod:`repro.sketch.rrset` — the RIS/IMM-style reverse-reachable-set
   oracle (:class:`RRSetIndex` + :class:`RRSetSigmaEstimator`): sample
   RR sets once per (instance, seed-stream, R), then sigma of *any*
@@ -45,6 +47,7 @@ from repro.sketch.estimator import SketchSigmaEstimator
 from repro.sketch.greedy import CoverageEvaluator, budgeted_coverage_greedy
 from repro.sketch.oracle import ORACLE_NAMES, make_sigma_estimator
 from repro.sketch.reachkernel import (
+    HAVE_NUMBA,
     REACH_KERNEL_NAMES,
     WorldLayout,
     get_default_reach_kernel,
@@ -61,6 +64,7 @@ from repro.sketch.rrset import (
 __all__ = [
     "DEFAULT_EXTRA_ADOPTION_FLOOR",
     "DEFAULT_REACH_BUDGET_BYTES",
+    "HAVE_NUMBA",
     "ORACLE_NAMES",
     "REACH_KERNEL_NAMES",
     "CoverageEvaluator",

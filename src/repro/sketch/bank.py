@@ -17,11 +17,14 @@ world count):
   outcomes are then transposed into **world-major** liveness words
   (:class:`~repro.sketch.reachkernel.WorldLayout`, ``ceil(M/64)``
   ``uint64`` words per skeleton entry) feeding the bit-parallel
-  multi-world BFS (``reach_kernel="packed"``, the default);
+  multi-world BFS (``reach_kernel="packed"``, the default, or its
+  numba-compiled twin ``"packed-jit"``); miss blocks can additionally
+  shard the *worlds* axis across process workers over shared-memory
+  blocks (``world_shards``), reassembling bit-identically;
 * on demand, per-world :class:`ReachabilitySketch` objects (CSR
   adjacency + memoized per-source reachability masks) — the
   ``reach_kernel="per-world"`` reference path and the per-world query
-  API.  Both kernels produce bit-identical stacks (reachability on a
+  API.  All kernels produce bit-identical stacks (reachability on a
   fixed live-edge graph is deterministic), pinned by
   ``tests/property/test_reach_kernel.py``.
 
@@ -55,14 +58,17 @@ from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.core.selection import PairLayout
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.replication import DEFAULT_CHUNK_SIZE, chunk_indices
+from repro.engine.shm import share_task_arrays
 from repro.errors import SketchError
 from repro.sketch.reachkernel import (
     MAX_SOURCE_BLOCK,
     ReachStacksTask,
     WorldLayout,
+    WorldShardTask,
     reach_stacks,
     reach_stacks_chunk,
     resolve_reach_kernel,
+    world_shard_chunk,
 )
 from repro.utils.rng import spawn_rng
 
@@ -404,11 +410,23 @@ class RealizationBank:
     reach_kernel:
         ``"packed"`` (default) answers stack misses with the
         bit-parallel multi-world BFS of
-        :mod:`repro.sketch.reachkernel`; ``"per-world"`` runs one
+        :mod:`repro.sketch.reachkernel`; ``"packed-jit"`` routes the
+        same BFS through the numba-compiled worklist loop (degrades to
+        ``"packed"`` when numba is missing); ``"per-world"`` runs one
         Python BFS per :class:`ReachabilitySketch` — the bit-identity
         reference.  ``None`` resolves the process-wide default (CLI
         ``--reach-kernel``).  Stacks, sigma values and LRU accounting
         are bit-identical across kernels.
+    world_shards:
+        Split the *worlds* axis of a packed-kernel miss block into
+        this many word-aligned shards, each computed independently
+        (fanned over the backend) and concatenated back — bit-identical
+        to the unsharded kernel (DESIGN.md §6b).  ``None`` (default)
+        shards automatically: only on a live process pool, only when
+        the miss block has too few sources to feed the workers and the
+        world axis is wide enough (``n_words >= 2 * workers``) to
+        split profitably.  An explicit count forces sharding on any
+        backend (the test hook for merge parity).
     """
 
     def __init__(
@@ -423,14 +441,22 @@ class RealizationBank:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
         reach_kernel: str | None = None,
+        world_shards: int | None = None,
     ):
         if n_worlds < 1:
             raise ValueError(f"n_worlds must be >= 1, got {n_worlds}")
+        if world_shards is not None and world_shards < 1:
+            raise ValueError(
+                f"world_shards must be >= 1, got {world_shards}"
+            )
         self.instance = instance
         self.n_worlds = int(n_worlds)
         self.rng_seed = int(rng_seed)
         self.rng_context = tuple(rng_context)
         self.reach_kernel = resolve_reach_kernel(reach_kernel)
+        self.world_shards = (
+            None if world_shards is None else int(world_shards)
+        )
         self.skeleton = build_skeleton(instance, extra_adoption_floor)
         #: Packed-word layout shared by every world's reachability memo
         #: and the coverage gain kernel.
@@ -467,6 +493,11 @@ class RealizationBank:
         self._packed_graph: (
             tuple[np.ndarray, np.ndarray, np.ndarray] | None
         ) = None
+        # Shared-memory export of the packed graph (process pools
+        # only): arrays cross the process boundary once, by page
+        # table, instead of once per miss-block pickle.
+        self._reach_handles: dict | None = None
+        self._reach_shared = False
         #: Importance of the item behind each pair index — the weight
         #: vector every coverage query dots against.
         self.pair_importance = np.tile(
@@ -687,6 +718,116 @@ class RealizationBank:
             out.append(stacked)
         return out
 
+    def _shared_reach_graph(self) -> tuple:
+        """The packed graph as task fields — shared-memory handles on a
+        live process pool (exported once, released with the backend),
+        the plain arrays everywhere else."""
+        indptr, indices, arc_live = self._reach_graph()
+        if not self._reach_shared:
+            self._reach_shared = True
+            self._reach_handles = share_task_arrays(
+                {
+                    "reach_indptr": indptr,
+                    "reach_indices": indices,
+                    "reach_arc_live": arc_live,
+                },
+                self._backend,
+            )
+        if self._reach_handles is not None and not getattr(
+            self._backend, "closed", False
+        ):
+            handles = self._reach_handles
+            return (
+                handles["reach_indptr"],
+                handles["reach_indices"],
+                handles["reach_arc_live"],
+            )
+        return indptr, indices, arc_live
+
+    def _world_shard_count(self, n_missing: int) -> int:
+        """How many world shards a packed miss block should use.
+
+        Explicit ``world_shards`` always wins (and is the test hook
+        for forced sharding on any backend).  Auto mode shards only
+        when the *source* axis cannot feed the pool (fewer misses than
+        workers — the single-candidate / tiny-block regime where the
+        bank previously fell back to one serial BFS) and the world
+        axis is wide enough that each worker gets at least two words;
+        otherwise source chunking amortizes better.
+        """
+        n_words = self.world_layout.n_words
+        if self.world_shards is not None:
+            return max(1, min(self.world_shards, n_words))
+        backend = self._backend
+        workers = getattr(backend, "workers", None) or 1
+        if (
+            backend.name != "process"
+            or workers <= 1
+            or getattr(backend, "closed", False)
+        ):
+            return 1
+        if n_missing >= workers or n_words < 2 * workers:
+            return 1
+        return min(workers, n_words)
+
+    def _world_sharded_stacks(
+        self, missing: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Packed stacks via world-axis sharding (DESIGN.md §6b).
+
+        Each shard is a contiguous word-aligned slice of the worlds
+        axis; word-parallel AND/OR propagation never crosses word
+        columns, so concatenating the per-shard stacks in shard order
+        reassembles exactly the unsharded ``(n_worlds, n_words)``
+        stack — bytes, shapes and therefore all downstream LRU
+        accounting are bit-identical.
+        """
+        n_words = self.world_layout.n_words
+        n_shards = self._world_shard_count(len(missing))
+        splits = np.linspace(0, n_words, n_shards + 1, dtype=np.int64)
+        word_bounds = tuple(
+            (int(lo), int(hi))
+            for lo, hi in zip(splits[:-1], splits[1:])
+            if hi > lo
+        )
+        indptr, indices, arc_live = self._shared_reach_graph()
+        task = WorldShardTask(
+            indptr=indptr,
+            indices=indices,
+            arc_live=arc_live,
+            pair_layout=self.layout,
+            n_worlds=self.n_worlds,
+            sources=tuple(missing),
+            word_bounds=word_bounds,
+            kernel=self.reach_kernel,
+        )
+        backend = self._backend
+        if getattr(backend, "closed", False):
+            shard_lists = [
+                world_shard_chunk(task, [i])
+                for i in range(len(word_bounds))
+            ]
+        else:
+            shard_lists = backend.map_chunks(
+                world_shard_chunk,
+                task,
+                chunk_indices(len(word_bounds), 1),
+            )
+        # map_chunks preserves chunk order, so shard b's stacks sit at
+        # shard_stacks[b]; per source, shard rows concatenate back
+        # into canonical world order.
+        shard_stacks = list(itertools.chain.from_iterable(shard_lists))
+        if len(shard_stacks) == 1:
+            stacks = shard_stacks[0]
+        else:
+            stacks = [
+                np.concatenate(
+                    [shard[i] for shard in shard_stacks], axis=0
+                )
+                for i in range(len(missing))
+            ]
+        return dict(zip(missing, stacks))
+
     def _compute_stacks(
         self, missing: Sequence[int]
     ) -> dict[int, np.ndarray]:
@@ -701,6 +842,8 @@ class RealizationBank:
                 )
                 for pair in missing
             }
+        if self._world_shard_count(len(missing)) > 1:
+            return self._world_sharded_stacks(missing)
         indptr, indices, arc_live = self._reach_graph()
         backend = self._backend
         serial = (
@@ -723,8 +866,10 @@ class RealizationBank:
                 list(missing),
                 self.layout,
                 self.world_layout,
+                self.reach_kernel,
             )
             return dict(zip(missing, stacks))
+        indptr, indices, arc_live = self._shared_reach_graph()
         task = ReachStacksTask(
             indptr=indptr,
             indices=indices,
@@ -732,6 +877,7 @@ class RealizationBank:
             pair_layout=self.layout,
             world_layout=self.world_layout,
             sources=tuple(missing),
+            kernel=self.reach_kernel,
         )
         # One chunk per worker (not the replication chunk size): each
         # chunk is one multi-source BFS, so bigger chunks amortize the

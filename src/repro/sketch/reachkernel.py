@@ -33,44 +33,82 @@ Public knobs
 ------------
 ``reach_kernel``
     Which kernel banks use to answer reachability queries: ``packed``
-    (default, this module) or ``per-world`` (the reference loop).  The
-    two are bit-identical; ``per-world`` exists as the test oracle and
-    as an escape hatch on exotic numpy builds.  Select it per bank
+    (default, this module), ``packed-jit`` (the same semantics through
+    a numba-compiled worklist loop — requires the optional ``jit``
+    extra, degrades to ``packed`` with a one-time warning when numba
+    is unimportable) or ``per-world`` (the reference loop).  All three
+    are bit-identical; ``per-world`` exists as the test oracle and as
+    an escape hatch on exotic numpy builds.  Select it per bank
     (``RealizationBank(..., reach_kernel=...)``), per run (the
     ``reach_kernel`` entry of a sweep config — the runner swaps the
     default around the run so baselines inherit it too), or
     process-wide via :func:`set_default_reach_kernel` (CLI
-    ``--reach-kernel``).
+    ``--reach-kernel``, env ``REPRO_REACH_KERNEL``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.selection import PairLayout
 
+try:  # pragma: no cover - exercised on the CI jit leg
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - default container path
+    numba = None
+    HAVE_NUMBA = False
+
 __all__ = [
+    "HAVE_NUMBA",
     "REACH_KERNEL_NAMES",
     "WorldLayout",
     "ReachStacksTask",
+    "WorldShardTask",
     "get_default_reach_kernel",
     "multi_world_visited",
+    "multi_world_visited_jit",
     "reach_stacks",
     "reach_stacks_chunk",
     "resolve_reach_kernel",
     "set_default_reach_kernel",
+    "world_shard_chunk",
 ]
 
 #: Spelled-out reachability kernels (CLI ``--reach-kernel``).
-#: ``packed`` is the bit-parallel multi-world BFS; ``per-world`` is the
-#: original one-BFS-per-``ReachabilitySketch`` loop, retained as the
-#: bit-identity reference and test oracle.
-REACH_KERNEL_NAMES = ("packed", "per-world")
+#: ``packed`` is the bit-parallel multi-world BFS; ``packed-jit`` is
+#: its numba-compiled worklist twin (optional ``jit`` extra);
+#: ``per-world`` is the original one-BFS-per-``ReachabilitySketch``
+#: loop, retained as the bit-identity reference and test oracle.
+REACH_KERNEL_NAMES = ("packed", "packed-jit", "per-world")
 
-_default_reach_kernel = "packed"
+_default_reach_kernel = os.environ.get("REPRO_REACH_KERNEL") or "packed"
+
+_warned_no_numba = False
+
+
+def _degrade_jit(kernel: str) -> str:
+    """``packed-jit`` without numba degrades to ``packed`` (one-time
+    warning) instead of raising — the extra is optional."""
+    global _warned_no_numba
+    if kernel == "packed-jit" and not HAVE_NUMBA:
+        if not _warned_no_numba:
+            _warned_no_numba = True
+            warnings.warn(
+                "reach kernel 'packed-jit' requested but numba is not "
+                "installed (pip install 'imdpp-repro[jit]'); falling "
+                "back to the 'packed' numpy kernel",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "packed"
+    return kernel
 
 
 def set_default_reach_kernel(kernel: str) -> str:
@@ -82,19 +120,19 @@ def set_default_reach_kernel(kernel: str) -> str:
 
 def get_default_reach_kernel() -> str:
     """The process-wide reachability kernel (``packed`` by default)."""
-    return _default_reach_kernel
+    return resolve_reach_kernel(_default_reach_kernel)
 
 
 def resolve_reach_kernel(kernel: str | None) -> str:
     """Validate a kernel name (``None`` = the process-wide default)."""
     if kernel is None:
-        return get_default_reach_kernel()
+        kernel = _default_reach_kernel
     if kernel not in REACH_KERNEL_NAMES:
         raise ValueError(
             f"unknown reach kernel {kernel!r}; "
             f"expected one of {REACH_KERNEL_NAMES}"
         )
-    return kernel
+    return _degrade_jit(kernel)
 
 
 class WorldLayout:
@@ -291,6 +329,119 @@ def multi_world_visited(
     return visited
 
 
+def _jit_visited_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    arc_live: np.ndarray,
+    sources: np.ndarray,
+    full_mask: np.ndarray,
+    visited: np.ndarray,
+) -> None:
+    """Worklist BFS twin of :func:`multi_world_visited` — the
+    ``packed-jit`` hot loop, written in the numba ``nopython`` subset.
+
+    One worklist run per source: ``pending`` accumulates each pair's
+    not-yet-propagated world words, pairs with pending bits sit on an
+    explicit stack (``on_stack`` dedupes), and popping a pair ANDs its
+    pending words with each out-arc's liveness words and ORs the
+    genuinely new bits into ``visited`` / the destination's pending
+    row.  Reachability on a fixed live-edge graph is deterministic, so
+    the computed closure is bit-identical to the level-synchronous
+    numpy kernel regardless of traversal order.
+
+    The undecorated Python definition is kept callable so the no-numba
+    test legs can pin bit-identity against the same source the JIT
+    compiles (the PR 5 scalar-reference pattern, one level down).
+    Scratch arrays are reused across sources: ``pending`` is provably
+    all-zero when a worklist drains (every nonzero row is on the
+    stack), so no re-zeroing pass is needed.
+    """
+    n_sources = sources.shape[0]
+    n_pairs = indptr.shape[0] - 1
+    n_words = full_mask.shape[0]
+    pending = np.zeros((n_pairs, n_words), dtype=np.uint64)
+    stack = np.empty(n_pairs, dtype=np.int64)
+    on_stack = np.zeros(n_pairs, dtype=np.bool_)
+    row = np.empty(n_words, dtype=np.uint64)
+    for s in range(n_sources):
+        src = sources[s]
+        for w in range(n_words):
+            visited[src, s, w] = full_mask[w]
+            pending[src, w] = full_mask[w]
+        stack[0] = src
+        on_stack[src] = True
+        top = 1
+        while top > 0:
+            top -= 1
+            p = stack[top]
+            on_stack[p] = False
+            # Copy-then-zero before pushing: a self-loop arc may write
+            # back into pending[p] and must re-enqueue the pair.
+            for w in range(n_words):
+                row[w] = pending[p, w]
+                pending[p, w] = np.uint64(0)
+            for k in range(indptr[p], indptr[p + 1]):
+                d = indices[k]
+                changed = False
+                for w in range(n_words):
+                    new = row[w] & arc_live[k, w] & ~visited[d, s, w]
+                    if new != np.uint64(0):
+                        visited[d, s, w] |= new
+                        pending[d, w] |= new
+                        changed = True
+                if changed and not on_stack[d]:
+                    stack[top] = d
+                    on_stack[d] = True
+                    top += 1
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised on the CI jit leg
+    _jit_visited_compiled = numba.njit(cache=True, nogil=True)(
+        _jit_visited_loop
+    )
+else:
+    _jit_visited_compiled = None
+
+
+def multi_world_visited_jit(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    arc_live: np.ndarray,
+    sources: Sequence[int],
+    world_layout: WorldLayout,
+    impl: Callable[..., None] | None = None,
+) -> np.ndarray:
+    """:func:`multi_world_visited` through the compiled worklist loop.
+
+    ``impl`` overrides the loop implementation: tests pass the
+    undecorated :func:`_jit_visited_loop` to pin bit-identity on
+    numba-free environments; by default the compiled function is used
+    when available and the interpreted definition otherwise (same
+    source either way, so the contract is identical).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.size > MAX_SOURCE_BLOCK:
+        raise ValueError(
+            f"source block of {sources.size} exceeds {MAX_SOURCE_BLOCK}; "
+            "chunk the block (reach_stacks does this automatically)"
+        )
+    n_pairs = indptr.size - 1
+    visited = np.zeros(
+        (n_pairs, sources.size, world_layout.n_words), dtype=np.uint64
+    )
+    if impl is None:
+        impl = _jit_visited_compiled or _jit_visited_loop
+    impl(
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(indices, dtype=np.int64),
+        np.ascontiguousarray(arc_live, dtype=np.uint64),
+        sources,
+        world_layout.full_mask,
+        visited,
+    )
+    return visited
+
+
 def _stacks_from_visited(
     visited: np.ndarray,
     pair_layout: PairLayout,
@@ -344,27 +495,42 @@ def reach_stacks(
     sources: Sequence[int],
     pair_layout: PairLayout,
     world_layout: WorldLayout,
+    kernel: str = "packed",
 ) -> list[np.ndarray]:
     """One ``(n_worlds, n_words)`` PairLayout stack per source.
 
     Runs the block (chunked to :data:`MAX_SOURCE_BLOCK` sources)
-    through the multi-world BFS and scatters the world-major visited
-    matrix into the pair-major packed stacks
-    :class:`~repro.core.selection.CoverageGainOracle` consumes —
-    bit-identical to stacking M per-world BFS masks.  Each returned
+    through the multi-world BFS — the numpy event-sparse kernel for
+    ``packed``, the compiled worklist loop for ``packed-jit`` — and
+    scatters the world-major visited matrix into the pair-major packed
+    stacks :class:`~repro.core.selection.CoverageGainOracle` consumes
+    — bit-identical to stacking M per-world BFS masks.  Each returned
     stack is an owning copy, so the bank's LRU can drop them
     individually.
     """
+    visit = (
+        multi_world_visited_jit
+        if kernel == "packed-jit"
+        else multi_world_visited
+    )
     stacks: list[np.ndarray] = []
     for start in range(0, len(sources), MAX_SOURCE_BLOCK):
         block = list(sources[start : start + MAX_SOURCE_BLOCK])
-        visited = multi_world_visited(
-            indptr, indices, arc_live, block, world_layout
-        )
+        visited = visit(indptr, indices, arc_live, block, world_layout)
         stacks.extend(
             _stacks_from_visited(visited, pair_layout, world_layout)
         )
     return stacks
+
+
+def _resolve_graph(task) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Attach a task's CSR + liveness fields (shared-memory handles
+    pass through :func:`~repro.engine.shm.resolve_arrays`, plain
+    arrays unchanged).  Imported lazily to keep the sketch package
+    import-light."""
+    from repro.engine.shm import resolve_arrays
+
+    return resolve_arrays(task.indptr, task.indices, task.arc_live)
 
 
 @dataclass
@@ -377,7 +543,9 @@ class ReachStacksTask:
     a miss block's source chunks out to thread or process pools; each
     chunk runs as one multi-source BFS and results come back in chunk
     order, so the bank's LRU insertion sequence is
-    backend-independent.
+    backend-independent.  The array fields may be
+    :class:`~repro.engine.shm.SharedArrayHandle` exports — workers
+    attach them zero-copy on first use.
     """
 
     indptr: np.ndarray
@@ -386,6 +554,7 @@ class ReachStacksTask:
     pair_layout: PairLayout
     world_layout: WorldLayout
     sources: tuple[int, ...]
+    kernel: str = "packed"
 
 
 def reach_stacks_chunk(
@@ -394,11 +563,73 @@ def reach_stacks_chunk(
     """Stacks of ``task.sources[i] for i in chunk`` (module-level:
     picklable), in chunk order."""
     block = [task.sources[i] for i in chunk]
+    indptr, indices, arc_live = _resolve_graph(task)
     return reach_stacks(
-        task.indptr,
-        task.indices,
-        task.arc_live,
+        indptr,
+        indices,
+        arc_live,
         block,
         task.pair_layout,
         task.world_layout,
+        task.kernel,
     )
+
+
+@dataclass
+class WorldShardTask:
+    """A miss block's BFS sharded along the *worlds* axis.
+
+    The complement of :class:`ReachStacksTask`: instead of splitting
+    the sources across workers, every worker runs the full source
+    block over a contiguous slice of world *words* (64-world columns
+    of ``arc_live``).  Word-parallel AND/OR propagation never crosses
+    word columns, so shard ``(lo, hi)``'s stacks are exactly rows
+    ``[lo * 64, lo * 64 + shard_worlds)`` of the canonical stack and
+    the parent reassembles with one ``concatenate`` per source —
+    bit-identical to the unsharded kernel (DESIGN.md §6b).  Shard
+    boundaries sit on word boundaries, so each shard's
+    :class:`WorldLayout` tail mask matches the canonical layout's
+    words (all-ones except the final shard).  Array fields may be
+    shared-memory handles; workers slice their word columns after
+    attaching.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    arc_live: np.ndarray
+    pair_layout: PairLayout
+    n_worlds: int
+    sources: tuple[int, ...]
+    word_bounds: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    kernel: str = "packed"
+
+
+def world_shard_chunk(
+    task: WorldShardTask, chunk: Sequence[int]
+) -> list[list[np.ndarray]]:
+    """Per-shard stack lists for ``task.word_bounds[i] for i in chunk``
+    (module-level: picklable), in chunk order.
+
+    Each shard's result is ``len(task.sources)`` stacks of shape
+    ``(shard_worlds, pair_words)`` — the parent concatenates shard
+    rows back into ``(n_worlds, pair_words)`` per source.
+    """
+    indptr, indices, arc_live = _resolve_graph(task)
+    results: list[list[np.ndarray]] = []
+    for i in chunk:
+        lo, hi = task.word_bounds[i]
+        shard_worlds = min(task.n_worlds, hi * 64) - lo * 64
+        layout = WorldLayout(shard_worlds)
+        shard_live = np.ascontiguousarray(arc_live[:, lo:hi])
+        results.append(
+            reach_stacks(
+                indptr,
+                indices,
+                shard_live,
+                list(task.sources),
+                task.pair_layout,
+                layout,
+                task.kernel,
+            )
+        )
+    return results

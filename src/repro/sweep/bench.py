@@ -12,7 +12,7 @@ can gate on instead of eyeballing txt tables.
 ``emit_bench`` picks, per series, the **latest** recorded measurement
 (benchmarks report best-of-rounds medians already — the snapshot is
 "current perf", the jsonl is the history).  The committed snapshot
-lives at ``benchmarks/results/BENCH_v7.json``; the regression gate
+lives at ``benchmarks/results/BENCH_v8.json``; the regression gate
 (``scripts/bench_gate.py``) compares *speedups* — not absolute
 milliseconds — between a candidate snapshot and the committed
 baseline, because kernel-vs-reference ratios transfer across machines
@@ -42,14 +42,16 @@ BENCH_SPEC = "bench"
 
 #: Current trajectory snapshot version — bumped per growth PR that
 #: re-baselines (v6 == PR 6, which introduced the emitter; v7 added
-#: the RR-set oracle and its ``rrset_scaling`` series).
-BENCH_VERSION = 7
+#: the RR-set oracle and its ``rrset_scaling`` series; v8 added the
+#: compiled/world-sharded reach kernel and ``bank_scaling_m1024``).
+BENCH_VERSION = 8
 
 #: Series whose speedup the regression gate tracks.  Each is a
 #: kernel-vs-reference ratio on one machine, so a >2x degradation is a
 #: code regression, not runner noise.
 TRACKED_SERIES = (
     "bank_scaling",
+    "bank_scaling_m1024",
     "selection_scaling",
     "frontier_scaling",
     "sketch_scaling",

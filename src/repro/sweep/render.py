@@ -110,6 +110,21 @@ def _render_fig9h_scale(rows: list[ResultRow]) -> str:
     return "\n".join(lines)
 
 
+def _render_dysim_e2e(rows: list[ResultRow]) -> str:
+    lines = [
+        "dataset      n_users  oracle  dysim_seconds     sigma  n_seeds"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.params['dataset']:10s} {row.payload['n_users']:9d}  "
+            f"{row.params['oracle']:6s} "
+            f"{row.payload['runtime_seconds']:13.2f} "
+            f"{row.payload['sigma']:9.2f} "
+            f"{row.payload['n_seeds']:8d}"
+        )
+    return "\n".join(lines)
+
+
 def _render_fig12(rows: list[ResultRow]) -> str:
     from repro.sweep.specs import FIG12_ALGORITHMS
 
@@ -190,6 +205,8 @@ def _artifact_renderers(spec: SweepSpec) -> dict[str, Callable]:
         return {"fig9h_scalability": _render_fig9h}
     if name == "fig9h_scale":
         return {"fig9h_scale_selection": _render_fig9h_scale}
+    if name == "dysim_e2e_scale":
+        return {"dysim_e2e_scale": _render_dysim_e2e}
     if name.startswith("fig10_"):
         return {spec.artifacts[0]: _label_value_table(
             ["setting", "variant", "sigma"], ("setting", "variant"))}

@@ -253,6 +253,26 @@ def build_specs(scale: SampleScale | None = None) -> dict[str, SweepSpec]:
         },
         artifacts=("fig9h_scale_selection",),
     ))
+    # Paper-scale end-to-end: the FULL Dysim pipeline (nominee ranking,
+    # MCP selection, timing assignment) on the 100k-user synthetic
+    # graph — not selection-only like fig9h_scale.  The sketch oracle
+    # carries the sigma queries; n_samples is the realization-bank
+    # world count and is pinned (it is an oracle knob, not an MC
+    # replication count), so the committed row's config hash is stable
+    # under the smoke-scale env overrides.
+    add(SweepSpec(
+        name="dysim_e2e_scale",
+        title="End-to-end Dysim wall-clock at paper scale (synth-100k)",
+        axes={"dataset": ("synth-100k",)},
+        base={
+            "algorithm": "Dysim",
+            "oracle": "sketch",
+            "n_samples": 8,
+            "eval_samples": 0,
+            "algorithm_kwargs": {"candidate_pool": 100},
+        },
+        artifacts=("dysim_e2e_scale",),
+    ))
 
     # -- Fig. 10: ablation (w/o TM, w/o IP) --------------------------
     def fig10_refine(params: dict) -> dict:

@@ -310,6 +310,81 @@ class TestMcpLazyGreedyBatching:
             )
             assert result.selected == ["c", "a"]
 
+    @pytest.mark.parametrize("batch_size", [2, 3, 7, 64])
+    @pytest.mark.parametrize("stop_on_negative_gain", [True, False])
+    def test_unlimited_prefetch_matches_scalar_reference(
+        self, batch_size, stop_on_negative_gain
+    ):
+        """The heap-batch drain path (prefetch_limit=None, so stale
+        entries are drained and re-keyed in bulk) must replay the
+        scalar pop sequence exactly — including on non-submodular
+        oracles where a re-keyed gain can *grow* and interpose a
+        commit mid-drain."""
+
+        class UnlimitedOracle(FunctionGainOracle):
+            prefetch_limit = None
+
+        rng = np.random.default_rng(batch_size)
+        for trial in range(8):
+            universe = list(range(12))
+            costs = {e: float(rng.uniform(0.5, 2.5)) for e in universe}
+            oracle_fn = noisy_value_oracle(100 + trial)
+            expected = scalar_reference_celf(
+                universe,
+                oracle_fn,
+                lambda e: costs[e],
+                budget=7.0,
+                stop_on_negative_gain=stop_on_negative_gain,
+            )
+            result = mcp_lazy_greedy(
+                universe,
+                UnlimitedOracle(oracle_fn),
+                lambda e: costs[e],
+                budget=7.0,
+                stop_on_negative_gain=stop_on_negative_gain,
+                batch_size=batch_size,
+            )
+            assert result.selected == expected[0]
+            assert result.value == expected[1]
+            assert result.total_cost == expected[2]
+
+    def test_drain_transcript_batches_stale_reevaluations(self):
+        """Transcript of oracle call blocks: with an unbounded
+        prefetch limit the stale re-evaluations arrive as multi-element
+        blocks (the heap-batch drain), while the committed sequence
+        stays bit-identical to the one-at-a-time scalar loop."""
+
+        class TranscriptOracle(FunctionGainOracle):
+            prefetch_limit = None
+
+            def __init__(self, fn):
+                super().__init__(fn)
+                self.transcript: list[int] = []
+
+            def gains(self, candidates):
+                self.transcript.append(len(candidates))
+                return super().gains(candidates)
+
+        oracle_fn = noisy_value_oracle(5)
+        universe = list(range(12))
+        expected = scalar_reference_celf(
+            universe, oracle_fn, lambda e: 1.0, budget=4.0
+        )
+        oracle = TranscriptOracle(oracle_fn)
+        result = mcp_lazy_greedy(
+            universe, oracle, lambda e: 1.0, budget=4.0, batch_size=8
+        )
+        assert result.selected == expected[0]
+        assert result.value == expected[1]
+        priming = oracle.transcript[: -(len(oracle.transcript) - 2)]
+        assert priming == [8, 4]  # heap priming in batch_size blocks
+        stale_blocks = oracle.transcript[2:]
+        assert stale_blocks, "expected stale re-evaluations"
+        assert max(stale_blocks) > 1, (
+            "stale entries should drain in batches, got "
+            f"{stale_blocks}"
+        )
+
     def test_rejects_bad_budget_and_cost(self):
         with pytest.raises(AlgorithmError):
             mcp_lazy_greedy(

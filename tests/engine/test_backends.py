@@ -124,6 +124,25 @@ class TestResolution:
         with pytest.raises(ValueError, match="workers"):
             ThreadBackend(workers=-1)
 
+    def test_process_workers_capped_at_cpu_count(self):
+        import os
+
+        cpu_count = os.cpu_count() or 1
+        backend = ProcessPoolBackend(workers=cpu_count + 7)
+        assert backend.workers == cpu_count
+        assert backend.requested_workers == cpu_count + 7
+        backend.close()
+
+    def test_thread_workers_not_capped(self):
+        # Threads legitimately oversubscribe (GIL-released numpy
+        # sections, blocking waits) — only process pools are capped.
+        import os
+
+        requested = (os.cpu_count() or 1) + 3
+        backend = ThreadBackend(workers=requested)
+        assert backend.workers == requested
+        backend.close()
+
     def test_closed_pool_backend_is_terminal(self, tiny_instance):
         backend = ThreadBackend(workers=2)
         backend.close()

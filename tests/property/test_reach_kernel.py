@@ -11,17 +11,31 @@ properties are what lets the repo keep the per-world loop purely as a
 test oracle.
 """
 
+import warnings
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.sketch import RealizationBank, WorldLayout
+from repro.sketch import HAVE_NUMBA, RealizationBank, WorldLayout
+from repro.sketch import reachkernel as rk
 from repro.sketch.reachkernel import (
+    _jit_visited_loop,
     multi_world_visited,
+    multi_world_visited_jit,
     resolve_reach_kernel,
 )
 import pytest
 
 from tests.property.test_sketch_oracle import frozen_instances
+
+#: Loop implementations the jit twin must match the numpy kernel
+#: under.  The undecorated Python definition always runs (it is the
+#: very source numba compiles, so the no-numba CI legs still pin the
+#: algorithm); the compiled function itself is exercised on the jit
+#: leg.
+JIT_IMPLS = [("python-loop", _jit_visited_loop)]
+if HAVE_NUMBA:
+    JIT_IMPLS.append(("numba", None))  # None = the compiled default
 
 N_ITEMS = 4  # fixed by the tiny KG
 
@@ -109,6 +123,41 @@ def test_multi_world_visited_matches_python_bfs(data):
     # tail-word invariant: padding bits are never set, so pack is an
     # exact inverse of unpack on the visited matrix
     assert np.array_equal(layout.pack(by_world), visited)
+
+
+@pytest.mark.parametrize("impl_name,impl", JIT_IMPLS)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_jit_worklist_matches_packed_kernel(impl_name, impl, data):
+    """The ``packed-jit`` worklist loop is bit-identical to the numpy
+    event-sparse kernel on any graph, world count and liveness pattern
+    (the closure of a fixed live-edge graph is traversal-independent).
+    """
+    n_nodes, src, dst, n_worlds, live = data.draw(packed_graphs())
+    sources = data.draw(
+        st.lists(
+            st.integers(0, n_nodes - 1), min_size=1, max_size=4, unique=True
+        )
+    )
+    order = np.argsort(src, kind="stable")
+    indices = dst[order]
+    counts = np.bincount(src, minlength=n_nodes)
+    indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    layout = WorldLayout(n_worlds)
+    arc_live = (
+        layout.pack(live)[order]
+        if live.size
+        else np.zeros((0, layout.n_words), dtype=np.uint64)
+    )
+    expected = multi_world_visited(
+        indptr, indices, arc_live, sources, layout
+    )
+    computed = multi_world_visited_jit(
+        indptr, indices, arc_live, sources, layout, impl=impl
+    )
+    assert computed.dtype == np.uint64
+    assert np.array_equal(computed, expected), impl_name
 
 
 @given(
@@ -205,7 +254,119 @@ def test_bank_kernels_identical_under_eviction(data):
     )
 
 
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_bank_world_shards_bit_identical(data):
+    """Forced world-axis sharding (any shard count, word-aligned
+    splits, tail shard included) must reassemble the exact serial
+    stacks and replay the exact LRU sequence."""
+    instance = data.draw(frozen_instances())
+    n_worlds = data.draw(st.sampled_from([1, 63, 65, 130, 200]))
+    n_shards = data.draw(st.integers(1, 5))
+    reference = RealizationBank(instance, n_worlds=n_worlds, rng_seed=7)
+    sharded = RealizationBank(
+        instance, n_worlds=n_worlds, rng_seed=7, world_shards=n_shards
+    )
+    pair_ids = st.integers(0, instance.n_users * N_ITEMS - 1)
+    pairs = data.draw(st.lists(pair_ids, min_size=1, max_size=5))
+
+    for ours, theirs in zip(
+        sharded.stacks_for(pairs), reference.stacks_for(pairs)
+    ):
+        assert ours.dtype == np.uint64
+        assert np.array_equal(ours, theirs)
+    ours, theirs = sharded.reach_stats(), reference.reach_stats()
+    assert (ours.hits, ours.misses, ours.evictions, ours.bytes_in_use) == (
+        theirs.hits,
+        theirs.misses,
+        theirs.evictions,
+        theirs.bytes_in_use,
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=8, deadline=None)
+def test_bank_world_shards_identical_under_eviction(data):
+    """Sharded fills under a one-stack byte budget: eviction-driven
+    re-misses must replay identically to the serial path."""
+    instance = data.draw(frozen_instances())
+    probe = RealizationBank(instance, n_worlds=70, rng_seed=11)
+    budget = probe.stacked_reach_packed(0).nbytes
+    banks = [
+        RealizationBank(
+            instance,
+            n_worlds=70,
+            rng_seed=11,
+            reach_budget_bytes=budget,
+            world_shards=shards,
+        )
+        for shards in (None, 2)
+    ]
+    pair_ids = st.integers(0, instance.n_users * N_ITEMS - 1)
+    pairs = data.draw(st.lists(pair_ids, min_size=2, max_size=6))
+    stacks = [bank.stacks_for(pairs) for bank in banks]
+    for ours, theirs in zip(*stacks):
+        assert np.array_equal(ours, theirs)
+    ours, theirs = (bank.reach_stats() for bank in banks)
+    assert (ours.hits, ours.misses, ours.evictions, ours.bytes_in_use) == (
+        theirs.hits,
+        theirs.misses,
+        theirs.evictions,
+        theirs.bytes_in_use,
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+@given(data=st.data())
+@settings(max_examples=5, deadline=None)
+def test_bank_jit_kernel_bit_identical(data):
+    """With numba installed, a packed-jit bank answers every query
+    bit-identically to the packed bank (jit CI leg)."""
+    instance = data.draw(frozen_instances())
+    n_worlds = data.draw(st.sampled_from([1, 65, 130]))
+    banks = [
+        RealizationBank(
+            instance, n_worlds=n_worlds, rng_seed=7, reach_kernel=kernel
+        )
+        for kernel in ("packed", "packed-jit")
+    ]
+    pair_ids = st.integers(0, instance.n_users * N_ITEMS - 1)
+    pairs = data.draw(st.lists(pair_ids, min_size=1, max_size=5))
+    stacks = [bank.stacks_for(pairs) for bank in banks]
+    for ours, theirs in zip(*stacks):
+        assert np.array_equal(ours, theirs)
+    packed, jit = (bank.reach_stats() for bank in banks)
+    assert jit.kernel == "packed-jit"
+    assert (packed.hits, packed.misses, packed.bytes_in_use) == (
+        jit.hits,
+        jit.misses,
+        jit.bytes_in_use,
+    )
+
+
 def test_resolve_reach_kernel_rejects_unknown():
     with pytest.raises(ValueError):
         resolve_reach_kernel("warp")
-    assert resolve_reach_kernel(None) in ("packed", "per-world")
+    assert resolve_reach_kernel(None) in (
+        "packed",
+        "packed-jit",
+        "per-world",
+    )
+
+
+def test_packed_jit_degrades_without_numba():
+    """Requesting packed-jit on a numba-free build warns once and
+    falls back to the numpy packed kernel; with numba installed it
+    resolves verbatim."""
+    if HAVE_NUMBA:
+        assert resolve_reach_kernel("packed-jit") == "packed-jit"
+        return
+    rk._warned_no_numba = False
+    try:
+        with pytest.warns(RuntimeWarning, match="packed-jit"):
+            assert resolve_reach_kernel("packed-jit") == "packed"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second resolve is silent
+            assert resolve_reach_kernel("packed-jit") == "packed"
+    finally:
+        rk._warned_no_numba = True
