@@ -17,7 +17,7 @@ committed full-scale rows instead of superseding them.
 
 The scaling benchmarks additionally append to the ``bench`` perf
 trajectory (:func:`record_bench`), which ``repro sweep bench``
-snapshots into ``BENCH_v8.json`` for the CI regression gate.
+snapshots into ``BENCH_v9.json`` for the CI regression gate.
 """
 
 from __future__ import annotations

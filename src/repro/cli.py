@@ -37,20 +37,33 @@ extra; degrades to ``packed`` with a warning when numba is missing);
 the bit-identity reference.  Stacks, selections and sigma values are
 identical either way — only wall-clock differs.
 
+``--step-kernel`` selects the diffusion step kernel for Monte-Carlo
+replications (``repro.diffusion.repkernel``): ``vectorized`` (default)
+plays one replication at a time; ``scalar`` is the per-arc reference;
+``lockstep`` advances all of a worker chunk's replications in one
+packed pass over the shared CSR — the fast path for every
+frozen-dynamics sigma estimate; ``lockstep-jit`` adds a numba-compiled
+association scan (optional ``[jit]`` extra; degrades to ``lockstep``
+with a warning when numba is missing).  Draw streams, selections and
+sigma values are bit-identical across all four — only wall-clock
+differs.
+
 ``sweep`` drives declarative experiment campaigns (``repro.sweep``)::
 
     repro sweep run --spec fig9h        # run pending (config, seed) runs
     repro sweep run --spec fig9h        # resumed: zero new runs
     repro sweep status                  # store row counts per spec
     repro sweep render fig9h            # regenerate the txt artifact(s)
-    repro sweep bench --out benchmarks/results/BENCH_v8.json
+    repro sweep bench                   # BENCH_v<N>.json (results + root)
 
 ``run`` is resumable: results are keyed by (config hash, seed-stream)
 in an append-only store (default ``benchmarks/results/store/``), so an
 interrupted campaign continues where it stopped and a completed one
 re-runs nothing.  ``render`` regenerates paper figure/table artifacts
 from the store alone; ``bench`` snapshots the recorded scaling
-trajectory into a machine-readable ``BENCH_v<N>.json``.
+trajectory into a machine-readable ``BENCH_v<N>.json``, written both
+to ``benchmarks/results/`` and to the repository root (external
+trajectory tooling reads the root copy).
 """
 
 from __future__ import annotations
@@ -60,6 +73,7 @@ import sys
 
 from repro.core.selection import set_default_gain_batch
 from repro.data import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.diffusion import STEP_KERNEL_NAMES, set_default_step_kernel
 from repro.engine import BACKEND_NAMES, set_default_backend
 from repro.eval.harness import ALGORITHMS, evaluate_group, run_algorithm
 from repro.sketch import (
@@ -227,6 +241,19 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "'per-world' runs one BFS per world (the bit-identity "
         "reference); stacks and sigma values are identical either way",
     )
+    parser.add_argument(
+        "--step-kernel",
+        default=None,
+        choices=sorted(STEP_KERNEL_NAMES),
+        help="diffusion step kernel for Monte-Carlo replications: "
+        "'vectorized' plays one replication at a time (default), "
+        "'scalar' is the per-arc reference, 'lockstep' advances all "
+        "of a worker chunk's replications in one packed pass over "
+        "the shared CSR (the fast path for frozen-dynamics sigma), "
+        "'lockstep-jit' adds a numba-compiled association scan "
+        "(optional [jit] extra); draws and sigma values are "
+        "bit-identical across all four",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -270,6 +297,8 @@ def _command_run(args) -> int:
         set_default_gain_batch(args.gain_batch)
     if args.reach_kernel is not None:
         set_default_reach_kernel(args.reach_kernel)
+    if args.step_kernel is not None:
+        set_default_step_kernel(args.step_kernel)
     result = run_algorithm(
         args.algorithm,
         instance,
@@ -294,6 +323,8 @@ def _command_compare(args) -> int:
         set_default_gain_batch(args.gain_batch)
     if args.reach_kernel is not None:
         set_default_reach_kernel(args.reach_kernel)
+    if args.step_kernel is not None:
+        set_default_step_kernel(args.step_kernel)
     names = [n for n in ALGORITHMS if n not in set(args.skip)]
     rows = []
     for name in names:
@@ -379,17 +410,26 @@ def _command_sweep(args) -> int:
         from repro.sweep import BENCH_VERSION
 
         version = args.bench_version or BENCH_VERSION
-        out = args.out or f"benchmarks/results/BENCH_v{version}.json"
-        try:
-            document = emit_bench(store, out, version=version)
-        except SweepError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        tracked = ", ".join(document["tracked"]) or "(none)"
-        print(
-            f"wrote {out}: {len(document['series'])} series, "
-            f"tracked: {tracked}"
-        )
+        # External trajectory tooling looks for BENCH_*.json at the
+        # repository root; the canonical copy stays alongside the
+        # other benchmark artifacts.  An explicit --out writes that
+        # one path only.
+        outs = [args.out] if args.out else [
+            f"benchmarks/results/BENCH_v{version}.json",
+            f"BENCH_v{version}.json",
+        ]
+        document = None
+        for out in outs:
+            try:
+                document = emit_bench(store, out, version=version)
+            except SweepError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            tracked = ", ".join(document["tracked"]) or "(none)"
+            print(
+                f"wrote {out}: {len(document['series'])} series, "
+                f"tracked: {tracked}"
+            )
         return 0
 
     raise AssertionError(f"unhandled sweep verb {args.sweep_command!r}")

@@ -109,6 +109,19 @@ class DysimConfig:
         default (CLI ``--reach-kernel``).  Stacks and sigma values are
         bit-identical across kernels, so this is a pure perf knob;
         ignored under the mc oracle.
+    step_kernel:
+        Diffusion step kernel for Monte-Carlo replications (both
+        estimators): ``"vectorized"`` (the per-replication default),
+        ``"scalar"`` (the per-arc reference), ``"lockstep"`` (all of a
+        worker chunk's replications advanced in one packed pass — the
+        fast path for frozen selection/evaluation sigma) or
+        ``"lockstep-jit"`` (the same pass with a numba-compiled
+        association scan; optional ``[jit]`` extra, degrades to
+        ``"lockstep"`` with a warning).  ``None`` resolves the
+        process-wide default (CLI ``--step-kernel``).  All kernels are
+        draw-for-draw bit-identical, so this too is a pure perf knob;
+        recipes lockstep cannot pack (dynamic perceptions, state
+        collection) transparently use the per-replication kernel.
     seed:
         Root of every random substream Dysim uses.
     backend:
@@ -137,6 +150,7 @@ class DysimConfig:
     model: DiffusionModel = DiffusionModel.INDEPENDENT_CASCADE
     oracle: str = "mc"
     reach_kernel: str | None = None
+    step_kernel: str | None = None
     seed: int = 0
     backend: object | str | None = None
     workers: int | None = None
@@ -166,6 +180,13 @@ class DysimResult:
     #: Which reachability kernel filled the bank's stack misses
     #: (``""`` when no bank was built).
     bank_reach_kernel: str = ""
+    #: Wall-clock attribution of ``runtime_seconds``: ``"bank"`` (the
+    #: selection oracle's one-off precomputation — realization bank or
+    #: RR-set sampling; ~0 under the mc oracle), ``"selection"`` (TMI
+    #: + DRE + TDSI, everything that picks seeds) and ``"final_mc"``
+    #: (fallback comparison and the returned group's dynamic sigma).
+    #: The keys sum to ~``runtime_seconds``.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class Dysim:
@@ -204,6 +225,7 @@ class Dysim:
             backend=self._backend,
             cache=self._cache,
             reach_kernel=self.config.reach_kernel,
+            step_kernel=self.config.step_kernel,
         )
         self._dynamic_estimator = make_sigma_estimator(
             "mc",
@@ -213,6 +235,7 @@ class Dysim:
             rng_factory=factory.child("dynamic"),
             backend=self._backend,
             cache=self._cache,
+            step_kernel=self.config.step_kernel,
         )
         self._rng = factory.stream("driver")
 
@@ -222,6 +245,12 @@ class Dysim:
         started = time.perf_counter()
         config = self.config
         instance = self.instance
+
+        # The selection oracle's one-off precomputation (realization
+        # bank / RR-set sampling), forced eagerly so the breakdown can
+        # bill it separately from the selection queries it serves.
+        self._frozen_estimator.prepare()
+        bank_done = time.perf_counter()
 
         selection = select_nominees(
             instance,
@@ -262,6 +291,7 @@ class Dysim:
             group_orders.append([m.market_id for m in ordered])
             group_seeds = self._promote_group(ordered)
             final_group.extend(group_seeds)
+        selection_done = time.perf_counter()
 
         if config.use_fallbacks:
             best_group, fallback = self._apply_theoretical_fallbacks(
@@ -270,7 +300,13 @@ class Dysim:
         else:
             best_group, fallback = final_group, "dysim"
         sigma = self._dynamic_estimator.sigma(best_group)
-        runtime = time.perf_counter() - started
+        finished = time.perf_counter()
+        runtime = finished - started
+        phase_seconds = {
+            "bank": bank_done - started,
+            "selection": selection_done - bank_done,
+            "final_mc": finished - selection_done,
+        }
         reach_stats = getattr(
             self._frozen_estimator, "bank_reach_stats", None
         )
@@ -296,6 +332,7 @@ class Dysim:
                 reach_stats.evictions if reach_stats else 0
             ),
             bank_reach_kernel=reach_stats.kernel if reach_stats else "",
+            phase_seconds=phase_seconds,
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.models import DiffusionModel, aggregated_influence
+from repro.diffusion.repkernel import STEP_KERNEL_NAMES
 from repro.errors import SimulationError
 from repro.perception.state import PerceptionState
 from repro.social.csr import row_gather
@@ -95,6 +96,15 @@ class CampaignSimulator:
     extra_adoption_floor:
         ``Pext`` values below this are skipped without drawing, which
         prunes the O(items) inner loop where relevance is ~0.
+    step_kernel:
+        ``"vectorized"`` (default) or ``"scalar"`` pick the per-event
+        implementation of a diffusion step; both are bit-identical.
+        The lockstep names (``"lockstep"`` / ``"lockstep-jit"``, see
+        :mod:`repro.diffusion.repkernel`) are accepted and behave as
+        ``"vectorized"`` here — lockstep batches *across replications*
+        and therefore engages at the Monte-Carlo chunk level
+        (:func:`repro.engine.replication.run_chunk`), not in a single
+        :meth:`run`.
     """
 
     def __init__(
@@ -105,10 +115,10 @@ class CampaignSimulator:
         extra_adoption_floor: float = 1e-6,
         step_kernel: str = "vectorized",
     ):
-        if step_kernel not in ("vectorized", "scalar"):
+        if step_kernel not in STEP_KERNEL_NAMES:
             raise SimulationError(
                 f"unknown step_kernel {step_kernel!r}; "
-                "expected 'vectorized' or 'scalar'"
+                f"expected one of {STEP_KERNEL_NAMES}"
             )
         self.instance = instance
         self.model = model

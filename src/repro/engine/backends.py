@@ -34,6 +34,7 @@ from repro.engine.replication import (
     ChunkResult,
     ReplicationTask,
     chunk_indices,
+    lockstep_applicable,
     run_chunk,
 )
 
@@ -48,6 +49,30 @@ __all__ = [
     "get_default_backend",
     "worker_chunks",
 ]
+
+
+def _replication_chunks(
+    task: ReplicationTask,
+    n_samples: int,
+    backend: "ExecutionBackend",
+    chunk_size: int,
+) -> list[list[int]]:
+    """The chunk partition a backend fans ``task`` out over.
+
+    The fine-grained canonical partition by default; when the task
+    takes the lockstep fast path the partition coarsens to one chunk
+    per worker (``chunk_indices(0)`` guard applies either way).  Safe
+    because lockstep tasks only produce per-sample scalars, which are
+    gathered in index order regardless of chunk boundaries — the
+    matrix accumulators whose reduction tree the canonical partition
+    pins are excluded by :func:`lockstep_applicable` — and profitable
+    because one packed kernel call amortizes per-chunk setup (state
+    caches, and on process pools the task pickle) across the whole
+    worker share, as RR-set sampling already does.
+    """
+    if n_samples >= 1 and lockstep_applicable(task):
+        return worker_chunks(n_samples, backend)
+    return chunk_indices(n_samples, chunk_size)
 
 
 def worker_chunks(
@@ -125,7 +150,9 @@ class SerialBackend:
     def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
         return ChunkResult.merge(
             self.map_chunks(
-                run_chunk, task, chunk_indices(n_samples, self.chunk_size)
+                run_chunk,
+                task,
+                _replication_chunks(task, n_samples, self, self.chunk_size),
             )
         )
 
@@ -210,7 +237,9 @@ class _PoolBackend:
     def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
         return ChunkResult.merge(
             self.map_chunks(
-                run_chunk, task, chunk_indices(n_samples, self.chunk_size)
+                run_chunk,
+                task,
+                _replication_chunks(task, n_samples, self, self.chunk_size),
             )
         )
 

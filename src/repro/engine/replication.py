@@ -25,6 +25,12 @@ import numpy as np
 from repro.core.problem import IMDPPInstance, SeedGroup
 from repro.diffusion.campaign import CampaignSimulator
 from repro.diffusion.models import DiffusionModel, adoption_likelihood
+from repro.diffusion.repkernel import (
+    LOCKSTEP_KERNELS,
+    lockstep_supported,
+    resolve_step_kernel,
+    run_campaigns_lockstep,
+)
 from repro.perception.state import PerceptionState
 from repro.utils.rng import spawn_rng
 
@@ -33,6 +39,7 @@ __all__ = [
     "ReplicationTask",
     "ChunkResult",
     "chunk_indices",
+    "lockstep_applicable",
     "run_chunk",
 ]
 
@@ -55,6 +62,13 @@ class ReplicationTask:
     chunk.  ``rng_seed``/``rng_context`` identify the common-random-
     numbers substream family; sample ``i`` draws from
     ``spawn_rng(rng_seed, *rng_context, i)``.
+
+    ``step_kernel`` picks the diffusion implementation
+    (:data:`repro.diffusion.repkernel.STEP_KERNEL_NAMES`; ``None`` =
+    the process default).  Kernels are bit-identical, so the field
+    never changes results — the lockstep names make ``run_chunk`` play
+    all of a chunk's replications in one packed pass when the recipe
+    allows it (:func:`lockstep_applicable`).
     """
 
     instance: IMDPPInstance
@@ -69,6 +83,7 @@ class ReplicationTask:
     collect_adoptions: bool = False
     initial_state: PerceptionState | None = None
     start_promotion: int = 1
+    step_kernel: str | None = None
 
 
 @dataclass
@@ -144,6 +159,60 @@ def chunk_indices(
     ]
 
 
+def lockstep_applicable(task: ReplicationTask) -> bool:
+    """Will ``run_chunk`` take the lockstep fast path for this task?
+
+    True iff the task's (resolved) step kernel is a lockstep name and
+    the replication recipe fits the packed pass — frozen dynamics, no
+    resumed state, none of the state-materializing collectors.
+    Backends consult this to coarsen the chunk partition: the lockstep
+    outputs (per-sample sigmas, in index order) are partition-
+    invariant, so one chunk per worker is safe and amortizes best.
+    """
+    return resolve_step_kernel(task.step_kernel) in LOCKSTEP_KERNELS and (
+        lockstep_supported(
+            task.instance,
+            initial_state=task.initial_state,
+            compute_likelihood=task.compute_likelihood,
+            collect_weights=task.collect_weights,
+            collect_adoptions=task.collect_adoptions,
+        )
+    )
+
+
+def _run_chunk_lockstep(
+    task: ReplicationTask, indices: Sequence[int], kernel: str
+) -> ChunkResult:
+    """One packed kernel call covering every replication of the chunk."""
+    rngs = [
+        spawn_rng(task.rng_seed, *task.rng_context, i) for i in indices
+    ]
+    outcomes = run_campaigns_lockstep(
+        task.instance,
+        task.seed_group,
+        rngs,
+        model=task.model,
+        until_promotion=task.until_promotion,
+        start_promotion=task.start_promotion,
+        jit=kernel == "lockstep-jit",
+    )
+    n = len(indices)
+    sigmas = np.zeros(n)
+    restricted = np.zeros(n)
+    restrict = None
+    if task.restrict_users is not None:
+        restrict = set(task.restrict_users)
+    for j, outcome in enumerate(outcomes):
+        sigmas[j] = outcome.sigma
+        if restrict is not None:
+            restricted[j] = outcome.sigma_restricted(restrict)
+    return ChunkResult(
+        sigmas=sigmas,
+        restricted=restricted,
+        likelihoods=np.zeros(n),
+    )
+
+
 def run_chunk(task: ReplicationTask, indices: Sequence[int]) -> ChunkResult:
     """Run the replications ``indices`` of ``task`` sequentially.
 
@@ -151,7 +220,17 @@ def run_chunk(task: ReplicationTask, indices: Sequence[int]) -> ChunkResult:
     stay a module-level function so process pools can pickle it by
     qualified name.
     """
-    simulator = CampaignSimulator(task.instance, model=task.model)
+    kernel = resolve_step_kernel(task.step_kernel)
+    if kernel in LOCKSTEP_KERNELS:
+        if lockstep_applicable(task):
+            return _run_chunk_lockstep(task, indices, kernel)
+        # Dynamic perceptions / state-collecting recipes replay the
+        # per-replication kernel — bit-identical, so the fallback is
+        # silent by design.
+        kernel = "vectorized"
+    simulator = CampaignSimulator(
+        task.instance, model=task.model, step_kernel=kernel
+    )
     n = len(indices)
     sigmas = np.zeros(n)
     restricted = np.zeros(n)

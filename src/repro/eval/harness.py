@@ -93,6 +93,9 @@ def run_dysim(
             "bank_reach_misses": result.bank_reach_misses,
             "bank_reach_evictions": result.bank_reach_evictions,
             "bank_reach_kernel": result.bank_reach_kernel,
+            # Wall-clock attribution (bank / selection / final_mc) —
+            # what lets a 269-second e2e run say *where* it went.
+            "phase_seconds": dict(result.phase_seconds),
         },
     )
 
@@ -108,6 +111,7 @@ def run_dysim_select(
     candidate_pool: int | None = 150,
     singleton_pool: int | None = 1,
     gain_batch: int | None = None,
+    step_kernel: str | None = None,
 ) -> BaselineResult:
     """Selection-only Dysim: the frozen-phase MCP greedy alone.
 
@@ -127,8 +131,11 @@ def run_dysim_select(
         rng_factory=RngFactory(seed),
         backend=backend,
         workers=workers,
+        step_kernel=step_kernel,
     )
     started = time.perf_counter()
+    estimator.prepare()
+    bank_done = time.perf_counter()
     selection = select_nominees(
         frozen,
         estimator,
@@ -139,16 +146,21 @@ def run_dysim_select(
     seed_group = SeedGroup(
         Seed(user, item, 1) for user, item in sorted(selection.nominees)
     )
+    finished = time.perf_counter()
     return BaselineResult(
         name="DysimSelect",
         seed_group=seed_group,
         sigma=selection.frozen_value,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=finished - started,
         diagnostics={
             "n_oracle_calls": selection.n_oracle_calls,
             "total_cost": selection.total_cost,
             "oracle": oracle,
             "backend": getattr(estimator.backend, "name", "serial"),
+            "phase_seconds": {
+                "bank": bank_done - started,
+                "selection": finished - bank_done,
+            },
         },
     )
 

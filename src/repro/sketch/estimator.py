@@ -63,6 +63,7 @@ class SketchSigmaEstimator(SigmaEstimator):
         extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
         reach_budget_bytes: int | None = DEFAULT_REACH_BUDGET_BYTES,
         reach_kernel: str | None = None,
+        step_kernel: str | None = None,
     ):
         super().__init__(
             instance,
@@ -72,6 +73,7 @@ class SketchSigmaEstimator(SigmaEstimator):
             backend=backend,
             workers=workers,
             cache=cache,
+            step_kernel=step_kernel,
         )
         self.extra_adoption_floor = float(extra_adoption_floor)
         self.reach_budget_bytes = reach_budget_bytes
@@ -91,6 +93,7 @@ class SketchSigmaEstimator(SigmaEstimator):
             rng_factory=self.rng_factory,
             backend=self.backend,
             cache=self.cache,
+            step_kernel=self.step_kernel,
         )
         self._sketch_evaluations = 0
         #: Queries answered from sketches / delegated to Monte-Carlo.
@@ -98,6 +101,11 @@ class SketchSigmaEstimator(SigmaEstimator):
         self.fallback_queries = 0
 
     # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Build the realization bank now (no-op if unsketchable)."""
+        if self.supports_sketch:
+            _ = self.bank
+
     @property
     def supports_sketch(self) -> bool:
         """Can this estimator answer plain sigma queries from sketches?"""

@@ -37,6 +37,7 @@ def make_sigma_estimator(
     workers: int | None = None,
     cache: SigmaCache | None = None,
     reach_kernel: str | None = None,
+    step_kernel: str | None = None,
 ) -> SigmaEstimator:
     """Build the sigma estimator for an oracle kind (``None`` = mc).
 
@@ -44,6 +45,9 @@ def make_sigma_estimator(
     (``"packed"`` / ``"per-world"``; ``None`` = the process-wide
     default, which the CLI's ``--reach-kernel`` sets) and is ignored
     by the Monte-Carlo oracle, which holds no realization bank.
+    ``step_kernel`` selects the diffusion step implementation for
+    Monte-Carlo replications (``--step-kernel``; every oracle runs
+    them — the sketch/RR-set oracles via their MC fallback paths).
     """
     kind = oracle or "mc"
     if kind not in ORACLE_NAMES:
@@ -57,6 +61,7 @@ def make_sigma_estimator(
         backend=backend,
         workers=workers,
         cache=cache,
+        step_kernel=step_kernel,
     )
     if kind == "sketch":
         return SketchSigmaEstimator(

@@ -461,6 +461,7 @@ class RRSetSigmaEstimator(SigmaEstimator):
         workers: int | None = None,
         cache: SigmaCache | None = None,
         extra_adoption_floor: float = DEFAULT_EXTRA_ADOPTION_FLOOR,
+        step_kernel: str | None = None,
     ):
         super().__init__(
             instance,
@@ -470,6 +471,7 @@ class RRSetSigmaEstimator(SigmaEstimator):
             backend=backend,
             workers=workers,
             cache=cache,
+            step_kernel=step_kernel,
         )
         self.extra_adoption_floor = float(extra_adoption_floor)
         self._index: RRSetIndex | None = None
@@ -484,6 +486,7 @@ class RRSetSigmaEstimator(SigmaEstimator):
             rng_factory=self.rng_factory,
             backend=self.backend,
             cache=self.cache,
+            step_kernel=self.step_kernel,
         )
         self._rr_evaluations = 0
         #: Queries answered from RR sets / delegated to Monte-Carlo.
@@ -491,6 +494,11 @@ class RRSetSigmaEstimator(SigmaEstimator):
         self.fallback_queries = 0
 
     # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Build the RR-set index now (no-op if unsupported)."""
+        if self.supports_rrset:
+            _ = self.index
+
     @property
     def supports_rrset(self) -> bool:
         """Can this estimator answer plain sigma queries from RR sets?"""

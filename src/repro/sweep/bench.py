@@ -12,7 +12,9 @@ can gate on instead of eyeballing txt tables.
 ``emit_bench`` picks, per series, the **latest** recorded measurement
 (benchmarks report best-of-rounds medians already — the snapshot is
 "current perf", the jsonl is the history).  The committed snapshot
-lives at ``benchmarks/results/BENCH_v8.json``; the regression gate
+lives at ``benchmarks/results/BENCH_v9.json`` with a mirror copy at
+the repository root (``repro sweep bench`` writes both; external
+trajectory tooling reads the root one); the regression gate
 (``scripts/bench_gate.py``) compares *speedups* — not absolute
 milliseconds — between a candidate snapshot and the committed
 baseline, because kernel-vs-reference ratios transfer across machines
@@ -43,8 +45,10 @@ BENCH_SPEC = "bench"
 #: Current trajectory snapshot version — bumped per growth PR that
 #: re-baselines (v6 == PR 6, which introduced the emitter; v7 added
 #: the RR-set oracle and its ``rrset_scaling`` series; v8 added the
-#: compiled/world-sharded reach kernel and ``bank_scaling_m1024``).
-BENCH_VERSION = 8
+#: compiled/world-sharded reach kernel and ``bank_scaling_m1024``; v9
+#: added the replication-lockstep campaign kernel and
+#: ``mc_diffusion_scaling``).
+BENCH_VERSION = 9
 
 #: Series whose speedup the regression gate tracks.  Each is a
 #: kernel-vs-reference ratio on one machine, so a >2x degradation is a
@@ -56,6 +60,7 @@ TRACKED_SERIES = (
     "frontier_scaling",
     "sketch_scaling",
     "rrset_scaling",
+    "mc_diffusion_scaling",
 )
 
 

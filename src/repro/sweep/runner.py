@@ -134,6 +134,10 @@ def _stats_payload(instance) -> dict:
 
 
 def _algorithm_payload(params: dict, seed: int) -> dict:
+    from repro.diffusion import (
+        get_default_step_kernel,
+        set_default_step_kernel,
+    )
     from repro.eval.harness import evaluate_group, run_algorithm
     from repro.sketch import (
         get_default_reach_kernel,
@@ -149,13 +153,18 @@ def _algorithm_payload(params: dict, seed: int) -> dict:
     n_samples = params.get("n_samples", 10)
     eval_samples = params.get("eval_samples", 0)
 
-    # ``reach_kernel`` is honored for every algorithm by swapping the
-    # process default around the run (Dysim also accepts it directly,
-    # but baselines reach their banks through the default).
+    # ``reach_kernel`` / ``step_kernel`` are honored for every
+    # algorithm by swapping the process default around the run (Dysim
+    # also accepts them directly, but baselines reach their banks and
+    # replications through the defaults).
     reach_kernel = params.get("reach_kernel")
     previous_kernel = get_default_reach_kernel()
     if reach_kernel is not None:
         set_default_reach_kernel(reach_kernel)
+    step_kernel = params.get("step_kernel")
+    previous_step = get_default_step_kernel()
+    if step_kernel is not None:
+        set_default_step_kernel(step_kernel)
     try:
         result = run_algorithm(
             algorithm, instance, n_samples=n_samples, seed=seed, **kwargs
@@ -169,6 +178,8 @@ def _algorithm_payload(params: dict, seed: int) -> dict:
     finally:
         if reach_kernel is not None:
             set_default_reach_kernel(previous_kernel)
+        if step_kernel is not None:
+            set_default_step_kernel(previous_step)
     return {
         "sigma": float(sigma),
         "sigma_internal": float(result.sigma),

@@ -1,17 +1,23 @@
-"""Draw-for-draw equivalence: vectorized frontier kernel vs scalar.
+"""Draw-for-draw equivalence: all diffusion step kernels vs scalar.
 
 The vectorized ``CampaignSimulator`` step batches a whole step's coin
-flips into one ``rng.random(k)`` call.  The contract (DESIGN.md,
-"Canonical event order") is that this consumes the *identical* RNG
+flips into one ``rng.random(k)`` call, and the replication-lockstep
+kernel (``repro.diffusion.repkernel``) further batches whole *chunks
+of replications* into one pass.  The contract (DESIGN.md, "Canonical
+event order") is that every kernel consumes the *identical* RNG
 substream as the retained scalar reference — adoption for adoption and
 draw for draw — so realization distributions, common-random-numbers
 correlation and the golden fixtures are all preserved.
 
-These tests run full campaigns under both kernels on
+These tests run full campaigns under every kernel on
 hypothesis-generated instances (random topology, insertion order,
 strengths, preferences, seeds and dynamics) for both IC and LT and
 assert bit identity of every output *and* of the final RNG stream
-position (``bit_generator.state``).
+position (``bit_generator.state``).  The lockstep kernel is pinned at
+the replication-word boundaries (R in {1, 63, 64, 65, 130}) and in
+both its numpy decision path and the pure-python shadow of the
+``lockstep-jit`` loops, so the compiled variant's logic is covered
+even where numba is not installed.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from hypothesis import given, settings, strategies as st
 from repro.core.problem import IMDPPInstance, Seed, SeedGroup
 from repro.diffusion.campaign import CampaignSimulator
 from repro.diffusion.models import DiffusionModel
+from repro.diffusion.repkernel import (
+    _lockstep_count_extras,
+    _lockstep_decide_ic,
+    run_campaigns_lockstep,
+)
 from repro.kg.relevance import RelevanceEngine
 from repro.perception.params import DynamicsParams
 
@@ -32,12 +43,14 @@ N_ITEMS = 4
 
 
 @st.composite
-def instances(draw):
+def instances(draw, force_frozen=False):
     """A small IMDPP instance with a hypothesis-drawn social layer.
 
     The knowledge-graph side is fixed (the tiny 4-item KG); everything
     the frontier kernel is sensitive to — topology, arc *insertion
     order*, strengths, preferences, weights, dynamics — is drawn.
+    ``force_frozen`` pins the dynamics to the frozen regime the
+    lockstep kernel requires (association coins stay live).
     """
     n_users = draw(st.integers(3, 8))
     directed = draw(st.booleans())
@@ -62,7 +75,7 @@ def instances(draw):
     relevance = RelevanceEngine(kg, build_tiny_metagraphs(), items)
     pref_seed = draw(st.integers(0, 2**16))
     rng = np.random.default_rng(pref_seed)
-    frozen = draw(st.booleans())
+    frozen = force_frozen or draw(st.booleans())
     dynamics = (
         DynamicsParams.frozen()
         if frozen
@@ -148,3 +161,150 @@ def test_rejects_unknown_kernel(tiny_instance):
 
     with pytest.raises(SimulationError):
         CampaignSimulator(tiny_instance, step_kernel="simd")
+
+
+# ----------------------------------------------------------------------
+# Replication-lockstep kernel: one packed pass over R replications must
+# replay each replication's per-replication run exactly.
+# ----------------------------------------------------------------------
+
+#: Replication counts straddling the packed uint64 word boundaries.
+WORD_BOUNDARY_RS = (1, 63, 64, 65, 130)
+
+#: The pure-python shadows of the ``lockstep-jit`` inner loops — same
+#: callables numba compiles, so passing them as overrides covers the
+#: compiled kernel's decision logic without requiring numba.
+JIT_SHADOW = dict(
+    jit=True,
+    count_impl=_lockstep_count_extras,
+    decide_impl=_lockstep_decide_ic,
+)
+
+
+def _replication_rngs(run_seed, n_replications):
+    return [
+        np.random.default_rng((run_seed, r))
+        for r in range(n_replications)
+    ]
+
+
+def _assert_lockstep_matches(instance, group, run_seed, model, n_replications):
+    simulator = CampaignSimulator(
+        instance, model=model, step_kernel="vectorized"
+    )
+    reference_rngs = _replication_rngs(run_seed, n_replications)
+    references = [simulator.run(group, rng) for rng in reference_rngs]
+    for label, kwargs in (("lockstep", {}), ("lockstep-jit", JIT_SHADOW)):
+        rngs = _replication_rngs(run_seed, n_replications)
+        outcomes = run_campaigns_lockstep(
+            instance, group, rngs, model=model, **kwargs
+        )
+        assert len(outcomes) == n_replications
+        for r, (reference, outcome) in enumerate(zip(references, outcomes)):
+            context = (label, r)
+            assert np.array_equal(
+                reference.new_adoptions, outcome.new_adoptions
+            ), context
+            assert reference.sigma == outcome.sigma, context
+            assert (
+                reference.sigma_by_promotion == outcome.sigma_by_promotion
+            ), context
+            assert reference.steps_run == outcome.steps_run, context
+            some_users = set(range(0, instance.n_users, 2))
+            assert reference.sigma_restricted(
+                some_users
+            ) == outcome.sigma_restricted(some_users), context
+            # Final perception state is reconstructible (frozen run).
+            assert np.array_equal(
+                reference.state.weights, outcome.state.weights
+            ), context
+            # The decisive check: replication r consumed exactly the
+            # draws its own per-replication run would have.
+            assert (
+                reference_rngs[r].bit_generator.state
+                == rngs[r].bit_generator.state
+            ), context
+
+
+@given(instances(force_frozen=True), st.sampled_from((1, 2, 5)))
+@settings(max_examples=30, deadline=None)
+def test_lockstep_ic_bit_identical(case, n_replications):
+    instance, group, run_seed = case
+    _assert_lockstep_matches(
+        instance,
+        group,
+        run_seed,
+        DiffusionModel.INDEPENDENT_CASCADE,
+        n_replications,
+    )
+
+
+@given(instances(force_frozen=True), st.sampled_from((1, 2, 5)))
+@settings(max_examples=30, deadline=None)
+def test_lockstep_lt_bit_identical(case, n_replications):
+    instance, group, run_seed = case
+    _assert_lockstep_matches(
+        instance,
+        group,
+        run_seed,
+        DiffusionModel.LINEAR_THRESHOLD,
+        n_replications,
+    )
+
+
+@given(instances(force_frozen=True))
+@settings(max_examples=6, deadline=None)
+def test_lockstep_word_boundaries(case):
+    """R in {1, 63, 64, 65, 130}: packed words must not leak bits."""
+    instance, group, run_seed = case
+    for n_replications in WORD_BOUNDARY_RS:
+        _assert_lockstep_matches(
+            instance,
+            group,
+            run_seed,
+            DiffusionModel.INDEPENDENT_CASCADE,
+            n_replications,
+        )
+
+
+@given(instances(force_frozen=True))
+@settings(max_examples=15, deadline=None)
+def test_lockstep_promotion_windows(case):
+    """until_promotion / start_promotion replay the reference windows."""
+    instance, group, run_seed = case
+    simulator = CampaignSimulator(instance)
+    for window in (
+        dict(until_promotion=1),
+        dict(start_promotion=instance.n_promotions),
+    ):
+        reference_rng = np.random.default_rng(run_seed)
+        reference = simulator.run(group, reference_rng, **window)
+        rng = np.random.default_rng(run_seed)
+        (outcome,) = run_campaigns_lockstep(
+            instance, group, [rng], **window
+        )
+        assert reference.sigma == outcome.sigma, window
+        assert (
+            reference.sigma_by_promotion == outcome.sigma_by_promotion
+        ), window
+        assert (
+            reference_rng.bit_generator.state == rng.bit_generator.state
+        ), window
+
+
+def test_lockstep_requires_frozen_dynamics(tiny_instance):
+    import pytest
+
+    from repro.errors import SimulationError
+
+    assert not tiny_instance.dynamics.is_frozen
+    group = SeedGroup([Seed(0, 0, 1)])
+    with pytest.raises(SimulationError):
+        run_campaigns_lockstep(
+            tiny_instance, group, [np.random.default_rng(0)]
+        )
+
+
+def test_lockstep_empty_rngs(tiny_instance):
+    group = SeedGroup([Seed(0, 0, 1)])
+    assert run_campaigns_lockstep(tiny_instance.frozen(), group, []) == []
