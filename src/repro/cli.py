@@ -48,6 +48,13 @@ with a warning when numba is missing).  Draw streams, selections and
 sigma values are bit-identical across all four — only wall-clock
 differs.
 
+``--retries`` / ``--chunk-timeout`` tune the execution layer's fault
+supervisor (``repro.engine.resilience``): crashed workers, raising
+chunks and chunks past the deadline are re-dispatched bit-identically
+(common random numbers make recovery exact), the pool is rebuilt when
+it broke, and exhausted retries degrade process → thread → serial
+with a one-time warning instead of aborting the run.
+
 ``sweep`` drives declarative experiment campaigns (``repro.sweep``)::
 
     repro sweep run --spec fig9h        # run pending (config, seed) runs
@@ -147,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=None,
         help="worker count for thread/process sweep fan-out",
     )
+    sweep_run.add_argument(
+        "--retries", type=_nonnegative_int, default=0,
+        help="re-dispatch runs that tombstone during this invocation "
+        "up to N more times with capped exponential backoff (the "
+        "fresh row supersedes the tombstone last-wins); chunk-level "
+        "worker crashes are retried below this by the engine "
+        "supervisor regardless",
+    )
+    sweep_run.add_argument(
+        "--retry-backoff", type=_positive_float, default=0.5,
+        help="base seconds of the run-level retry backoff "
+        "(attempt k sleeps base*2^(k-1), capped at 30s)",
+    )
 
     sweep_status = sweep_sub.add_parser(
         "status", help="declared/stored/failed run counts per spec"
@@ -210,6 +230,24 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "(default: min(8, cpu count))",
     )
     parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=None,
+        help="per-chunk re-dispatches the backend's fault supervisor "
+        "allows per degradation-ladder level (crashed/raising/hung "
+        "chunks are replayed bit-identically — common random numbers "
+        "make recovery exact); default 2, or REPRO_RETRIES",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=_positive_float,
+        default=None,
+        help="seconds a dispatched chunk cohort may run before "
+        "unfinished chunks are declared hung and re-dispatched on a "
+        "fresh pool; size well above an honest chunk's runtime "
+        "(default: no deadline, or REPRO_CHUNK_TIMEOUT)",
+    )
+    parser.add_argument(
         "--oracle",
         default="mc",
         choices=sorted(ORACLE_NAMES),
@@ -265,6 +303,24 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return number
+
+
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset", default="yelp", choices=sorted(DATASET_NAMES)
@@ -292,7 +348,12 @@ def _command_stats(args) -> int:
 
 def _command_run(args) -> int:
     instance = _load(args)
-    set_default_backend(args.backend, args.workers)
+    set_default_backend(
+        args.backend,
+        args.workers,
+        retries=args.retries,
+        chunk_timeout=args.chunk_timeout,
+    )
     if args.gain_batch is not None:
         set_default_gain_batch(args.gain_batch)
     if args.reach_kernel is not None:
@@ -318,7 +379,12 @@ def _command_run(args) -> int:
 
 def _command_compare(args) -> int:
     instance = _load(args)
-    set_default_backend(args.backend, args.workers)
+    set_default_backend(
+        args.backend,
+        args.workers,
+        retries=args.retries,
+        chunk_timeout=args.chunk_timeout,
+    )
     if args.gain_batch is not None:
         set_default_gain_batch(args.gain_batch)
     if args.reach_kernel is not None:
@@ -370,6 +436,8 @@ def _command_sweep(args) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 retry_failed=args.retry_failed,
+                max_retries=args.retries,
+                retry_backoff=args.retry_backoff,
                 log=print,
             )
             failed += report.n_failed

@@ -131,6 +131,19 @@ class DysimConfig:
         default.  Results are bit-identical across backends.
     workers:
         Worker count when ``backend`` is given by name.
+    retries:
+        Per-chunk re-dispatches the backend's supervisor allows per
+        degradation-ladder level before stepping down (``None`` = the
+        engine default / ``REPRO_RETRIES``).  Recovery is CRN-exact,
+        so results are bit-identical however many retries happen.
+        Ignored when ``backend`` is an instance (it has its own
+        policy).
+    chunk_timeout:
+        Seconds a dispatched chunk cohort may run before unfinished
+        chunks are declared hung and re-dispatched on a fresh pool
+        (``None`` = no deadline / ``REPRO_CHUNK_TIMEOUT``).  Size it
+        well above an honest chunk's runtime.  Ignored when
+        ``backend`` is an instance.
     """
 
     n_samples_selection: int = 12
@@ -154,6 +167,8 @@ class DysimConfig:
     seed: int = 0
     backend: object | str | None = None
     workers: int | None = None
+    retries: int | None = None
+    chunk_timeout: float | None = None
 
 
 @dataclass
@@ -187,6 +202,10 @@ class DysimResult:
     #: (fallback comparison and the returned group's dynamic sigma).
     #: The keys sum to ~``runtime_seconds``.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Fault handling the execution backend performed during this run
+    #: (:meth:`repro.engine.FaultStats.as_dict`; empty = fault-free).
+    #: Accounting only — recovered runs are bit-identical regardless.
+    fault_stats: dict = field(default_factory=dict)
 
 
 class Dysim:
@@ -206,7 +225,10 @@ class Dysim:
         self.config = config or DysimConfig()
         factory = RngFactory(self.config.seed)
         self._backend = resolve_backend(
-            self.config.backend, self.config.workers
+            self.config.backend,
+            self.config.workers,
+            retries=self.config.retries,
+            chunk_timeout=self.config.chunk_timeout,
         )
         # One cache backs both estimators (keys embed the estimator
         # config — including the oracle kind — so frozen/dynamic and
@@ -245,6 +267,10 @@ class Dysim:
         started = time.perf_counter()
         config = self.config
         instance = self.instance
+        backend_stats = getattr(self._backend, "fault_stats", None)
+        stats_before = (
+            backend_stats.copy() if backend_stats is not None else None
+        )
 
         # The selection oracle's one-off precomputation (realization
         # bank / RR-set sampling), forced eagerly so the breakdown can
@@ -310,6 +336,11 @@ class Dysim:
         reach_stats = getattr(
             self._frozen_estimator, "bank_reach_stats", None
         )
+        fault_stats: dict = {}
+        if backend_stats is not None:
+            delta = backend_stats.delta(stats_before)
+            if delta.activity:
+                fault_stats = delta.as_dict()
         return DysimResult(
             seed_group=best_group,
             sigma=sigma,
@@ -333,6 +364,7 @@ class Dysim:
             ),
             bank_reach_kernel=reach_stats.kernel if reach_stats else "",
             phase_seconds=phase_seconds,
+            fault_stats=fault_stats,
         )
 
     # ------------------------------------------------------------------

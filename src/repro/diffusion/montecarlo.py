@@ -217,6 +217,18 @@ class SigmaEstimator:
         """
 
     @property
+    def fault_stats(self):
+        """The backend's cumulative fault-handling record.
+
+        A :class:`repro.engine.FaultStats` (or None for foreign
+        backends that carry none) — nonzero counters mean chunks were
+        retried, pools rebuilt or execution degraded while serving
+        this estimator; the estimates themselves are bit-identical to
+        a fault-free run either way.
+        """
+        return getattr(self.backend, "fault_stats", None)
+
+    @property
     def cache_hits(self) -> int:
         """Estimates served from the cache so far."""
         return self.cache.hits

@@ -12,6 +12,11 @@ reproduction — into a pluggable service with three moving parts:
   description and the chunk runner every backend dispatches.
 * **Cache** (:mod:`repro.engine.cache`): LRU memoization of estimates
   with hit/miss counters, keyed by seed group + estimator config.
+* **Resilience** (:mod:`repro.engine.resilience`): supervised chunk
+  retry with CRN-exact recovery — crashed/raising/hung chunks are
+  re-dispatched bit-identically on a rebuilt pool, a degradation
+  ladder (process → thread → serial) catches exhausted retries, and a
+  deterministic :class:`FaultPlan` injects faults for testing.
 
 Backend selection::
 
@@ -43,6 +48,14 @@ from repro.engine.replication import (
     chunk_indices,
     run_chunk,
 )
+from repro.engine.resilience import (
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+    InjectedFault,
+    RetryPolicy,
+    default_retry_policy,
+)
 from repro.engine.shm import (
     SharedArrayHandle,
     SharedCSRHandle,
@@ -50,6 +63,8 @@ from repro.engine.shm import (
     release_csr,
     share_csr,
     share_for_backend,
+    share_task_arrays,
+    sweep_stale_shm,
 )
 
 __all__ = [
@@ -58,8 +73,13 @@ __all__ = [
     "ChunkResult",
     "DEFAULT_CHUNK_SIZE",
     "ExecutionBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "InjectedFault",
     "ProcessPoolBackend",
     "ReplicationTask",
+    "RetryPolicy",
     "SerialBackend",
     "SharedArrayHandle",
     "SharedCSRHandle",
@@ -67,6 +87,7 @@ __all__ = [
     "ThreadBackend",
     "attach_csr",
     "chunk_indices",
+    "default_retry_policy",
     "get_default_backend",
     "release_csr",
     "resolve_backend",
@@ -74,5 +95,7 @@ __all__ = [
     "set_default_backend",
     "share_csr",
     "share_for_backend",
+    "share_task_arrays",
+    "sweep_stale_shm",
     "worker_chunks",
 ]

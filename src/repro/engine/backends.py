@@ -21,11 +21,25 @@ Choosing a backend
     A ``ProcessPoolExecutor``.  True parallelism; pays one pickle of
     the task per chunk plus a one-off pool start-up, so it wins once
     replications are expensive (large instances or high sample counts).
+
+Fault tolerance
+---------------
+Pool backends supervise every dispatch through
+:mod:`repro.engine.resilience`: a dead worker, a raising chunk or a
+chunk past its deadline is re-dispatched (only the failed chunks, with
+capped backoff, rebuilding the pool when it broke), and exhausted
+retries degrade to thread and then serial execution with a one-time
+``RuntimeWarning`` instead of aborting the run.  Recovery is
+bit-identical — chunks are pure functions of ``(task, chunk)`` — and
+accounted in :attr:`fault_stats` (``retries=``/``chunk_timeout=``
+tune the policy; ``fault_plan=`` or ``REPRO_FAULT_PLAN`` injects
+deterministic faults for testing).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
 from typing import Protocol, runtime_checkable
 
@@ -37,6 +51,15 @@ from repro.engine.replication import (
     lockstep_applicable,
     run_chunk,
 )
+from repro.engine.resilience import (
+    FaultPlan,
+    FaultStats,
+    default_retry_policy,
+    supervise_map_chunks,
+    supervise_serial,
+)
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ExecutionBackend",
@@ -103,6 +126,64 @@ def worker_chunks(
     return chunks
 
 
+class _FaultAware:
+    """Supervision state shared by every concrete backend.
+
+    Holds the retry policy, the (optional) fault-injection plan, the
+    cumulative :class:`FaultStats` accumulator and the per-backend
+    dispatch counters the plan's ``(call, chunk)`` coordinates are
+    resolved against.
+    """
+
+    def _init_resilience(
+        self,
+        retries: int | None,
+        chunk_timeout: float | None,
+        fault_plan: FaultPlan | None,
+    ) -> None:
+        self.retry_policy = default_retry_policy(retries, chunk_timeout)
+        #: Active fault-injection plan (explicit kwarg wins over the
+        #: ``REPRO_FAULT_PLAN`` environment variable; pass an empty
+        #: ``FaultPlan()`` to mask the environment).
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        #: Cumulative fault-handling record over the backend's life.
+        self.fault_stats = FaultStats()
+        self._supervised_calls = 0
+        self._chunks_dispatched = 0
+        self._degrade_warned = False
+
+    def _next_supervised_call(self, n_chunks: int) -> tuple[int, int]:
+        """Allocate (call index, global chunk base) for one dispatch."""
+        call = self._supervised_calls
+        base = self._chunks_dispatched
+        self._supervised_calls += 1
+        self._chunks_dispatched += n_chunks
+        return call, base
+
+    def _run_replications(
+        self, task: ReplicationTask, n_samples: int, chunk_size: int
+    ) -> ChunkResult:
+        """``run()`` body: merge chunks, attach the fault-stats delta."""
+        before = self.fault_stats.copy()
+        merged = ChunkResult.merge(
+            self.map_chunks(
+                run_chunk,
+                task,
+                _replication_chunks(task, n_samples, self, chunk_size),
+            )
+        )
+        delta = self.fault_stats.delta(before)
+        if delta.activity:
+            merged.fault_stats = (
+                delta
+                if merged.fault_stats is None
+                else merged.fault_stats.combine(delta)
+            )
+        return merged
+
+
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """Minimal contract every execution backend satisfies."""
@@ -122,13 +203,19 @@ class ExecutionBackend(Protocol):
         ...
 
 
-class SerialBackend:
+class SerialBackend(_FaultAware):
     """Run every chunk in the calling thread (the reference backend)."""
 
     name = "serial"
 
-    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    def __init__(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        retries: int | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.chunk_size = int(chunk_size)
+        self._init_resilience(retries, None, fault_plan)
 
     @property
     def closed(self) -> bool:
@@ -144,17 +231,18 @@ class SerialBackend:
         ``fn(task, indices)`` over the canonical chunk partition can be
         dispatched, and results always come back in chunk order so
         reductions stay backend-independent.
+
+        With an active fault plan the serial supervisor wraps each
+        chunk (injection + retry with backoff); without one the plain
+        loop runs — an in-process exception is deterministic, so
+        retrying it uninjected is pointless.
         """
+        if self.fault_plan is not None:
+            return supervise_serial(self, fn, task, chunks)
         return [fn(task, chunk) for chunk in chunks]
 
     def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
-        return ChunkResult.merge(
-            self.map_chunks(
-                run_chunk,
-                task,
-                _replication_chunks(task, n_samples, self, self.chunk_size),
-            )
-        )
+        return self._run_replications(task, n_samples, self.chunk_size)
 
     def close(self) -> None:
         pass
@@ -163,7 +251,7 @@ class SerialBackend:
         return "SerialBackend()"
 
 
-class _PoolBackend:
+class _PoolBackend(_FaultAware):
     """Shared executor plumbing for thread / process backends."""
 
     name = "pool"
@@ -180,6 +268,9 @@ class _PoolBackend:
         self,
         workers: int | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        retries: int | None = None,
+        chunk_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -195,6 +286,7 @@ class _PoolBackend:
         self._executor: concurrent.futures.Executor | None = None
         self._closed = False
         self._cleanups: list = []
+        self._init_resilience(retries, chunk_timeout, fault_plan)
 
     def _make_executor(self) -> concurrent.futures.Executor:
         raise NotImplementedError
@@ -219,29 +311,49 @@ class _PoolBackend:
             self._executor = self._make_executor()
         return self._executor
 
+    def _rebuild_pool(self, kill: bool = False) -> None:
+        """Tear down a broken/hung executor; the next access respawns.
+
+        Crucially does NOT run cleanup callbacks: shared-memory files
+        must outlive the pool that broke — fresh workers re-attach the
+        same handles when they unpickle the next task.  With ``kill``
+        the surviving worker processes are terminated first (a hung
+        pool never joins on its own; its workers may sleep forever).
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        if kill:
+            for process in getattr(executor, "_processes", {}).values():
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
     def map_chunks(self, fn, task, chunks: list[list[int]]) -> list:
         """Fan ``fn(task, chunk)`` out to the pool, results in order.
 
         ``fn`` must be a module-level function (process pools pickle it
-        by qualified name).  A single chunk skips the executor — and,
-        for process pools, the pickling round trip — entirely.
-        ``Executor.map`` yields results in submission order, which is
-        the canonical chunk order reductions require.
+        by qualified name).  Dispatch is supervised (see the module
+        docstring): failed/hung chunks are retried on a rebuilt pool,
+        results return in canonical chunk order either way.  A single
+        chunk skips the executor — and, for process pools, the
+        pickling round trip — entirely, unless a fault plan or chunk
+        deadline is active (the supervisor needs the future).
         """
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
-        if len(chunks) <= 1:
+        if (
+            len(chunks) <= 1
+            and self.fault_plan is None
+            and self.retry_policy.chunk_timeout is None
+        ):
             return [fn(task, chunk) for chunk in chunks]
-        return list(self.executor.map(fn, (task for _ in chunks), chunks))
+        return supervise_map_chunks(self, fn, task, chunks)
 
     def run(self, task: ReplicationTask, n_samples: int) -> ChunkResult:
-        return ChunkResult.merge(
-            self.map_chunks(
-                run_chunk,
-                task,
-                _replication_chunks(task, n_samples, self, self.chunk_size),
-            )
-        )
+        return self._run_replications(task, n_samples, self.chunk_size)
 
     def add_cleanup(self, callback) -> None:
         """Register a resource-release callback for :meth:`close`.
@@ -251,8 +363,10 @@ class _PoolBackend:
         must happen exactly when the pool dies — earlier and in-flight
         workers lose their files, later and the blocks leak.  Callbacks
         run after the executor has shut down (workers joined), in
-        registration order; exceptions are swallowed so one failed
-        unlink cannot mask the close.
+        registration order; a failing callback is logged (with its
+        name) and cannot block the callbacks after it or mask the
+        close.  Pool *rebuilds* after a crash deliberately skip
+        cleanups — only :meth:`close` releases resources.
         """
         self._cleanups.append(callback)
 
@@ -261,8 +375,21 @@ class _PoolBackend:
         for callback in cleanups:
             try:
                 callback()
-            except Exception:
-                pass
+            except Exception as exc:
+                name = (
+                    getattr(callback, "__qualname__", None)
+                    or getattr(callback, "__name__", None)
+                    or repr(callback)
+                )
+                try:
+                    logger.warning(
+                        "%s cleanup callback %s failed: %s",
+                        type(self).__name__,
+                        name,
+                        exc,
+                    )
+                except Exception:  # pragma: no cover - interp shutdown
+                    pass
 
     def close(self) -> None:
         # Terminal: further run()/executor access raises rather than
@@ -338,12 +465,15 @@ _default_backend: ExecutionBackend | None = None
 def set_default_backend(
     backend: ExecutionBackend | str | None,
     workers: int | None = None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
 ) -> ExecutionBackend:
     """Install the process-wide default backend and return it.
 
     Estimators constructed without an explicit backend use this one;
-    the CLI's ``--backend/--workers`` flags route through here so every
-    algorithm in a run shares one worker pool.
+    the CLI's ``--backend/--workers`` (and ``--retries`` /
+    ``--chunk-timeout``) flags route through here so every algorithm
+    in a run shares one worker pool and one retry policy.
     """
     global _default_backend
     if _default_backend is not None:
@@ -351,7 +481,9 @@ def set_default_backend(
     if backend is None:
         _default_backend = None
     else:
-        _default_backend = resolve_backend(backend, workers)
+        _default_backend = resolve_backend(
+            backend, workers, retries=retries, chunk_timeout=chunk_timeout
+        )
     return get_default_backend()
 
 
@@ -366,12 +498,17 @@ def get_default_backend() -> ExecutionBackend:
 def resolve_backend(
     backend: ExecutionBackend | str | None,
     workers: int | None = None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ExecutionBackend:
     """Turn a backend spec (name, instance or None) into a backend.
 
     ``None`` resolves to the process-wide default; a string looks up
-    :data:`BACKEND_NAMES`; an object implementing the protocol is
-    returned as-is (``workers`` is ignored for instances).
+    :data:`BACKEND_NAMES` and forwards the supervision knobs; an
+    object implementing the protocol is returned as-is (``workers``
+    and the knobs are ignored for instances — they already carry
+    their own policy).
     """
     if backend is None:
         return get_default_backend()
@@ -384,8 +521,13 @@ def resolve_backend(
                 f"expected one of {sorted(BACKEND_NAMES)}"
             ) from None
         if factory is SerialBackend:
-            return SerialBackend()
-        return factory(workers=workers)
+            return SerialBackend(retries=retries, fault_plan=fault_plan)
+        return factory(
+            workers=workers,
+            retries=retries,
+            chunk_timeout=chunk_timeout,
+            fault_plan=fault_plan,
+        )
     if isinstance(backend, ExecutionBackend):
         return backend
     raise TypeError(f"not an execution backend: {backend!r}")

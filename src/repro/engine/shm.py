@@ -24,7 +24,11 @@ Lifecycle: the parent *owns* every exported block.  Sharing through
 so ``backend.close()`` removes the files and detaches the handle from
 the graph (later pickles fall back to by-value) — including after a
 worker crash, because ownership never leaves the parent.  An
-``atexit`` sweep removes anything a hard-killed session left behind.
+``atexit`` sweep removes anything this process still owns, and —
+because export directories are tagged with the owning PID — a
+*hard-killed* session's leftovers are reclaimed by the next session's
+startup/atexit :func:`sweep_stale_shm` pass (a dir whose owner PID is
+dead is garbage by definition; live owners are never touched).
 
 Serial and thread backends never touch this module's machinery:
 :func:`share_for_backend` is a no-op for them (same address space — a
@@ -35,6 +39,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import re
 import shutil
 import tempfile
 from dataclasses import dataclass
@@ -54,7 +59,17 @@ __all__ = [
     "share_csr",
     "share_for_backend",
     "share_task_arrays",
+    "sweep_stale_shm",
 ]
+
+#: Export directories are ``repro-shm-<owner pid>-<random>`` so any
+#: process can later decide whether a leftover is garbage: dead owner
+#: PID = reclaimable, live owner (or untagged legacy name) = hands off.
+_DIR_PID_PATTERN = re.compile(r"^repro-shm-(\d+)-")
+
+
+def _new_export_dir() -> str:
+    return tempfile.mkdtemp(prefix=f"repro-shm-{os.getpid()}-")
 
 #: Directories this process exported and still owns (for the atexit
 #: sweep; removed eagerly by :func:`release_csr`).
@@ -126,7 +141,7 @@ def share_csr(csr: CSRGraph, directory: str | None = None) -> SharedCSRHandle:
     existing = getattr(csr, "_shm_handle", None)
     if existing is not None:
         return existing
-    directory = directory or tempfile.mkdtemp(prefix="repro-shm-")
+    directory = directory or _new_export_dir()
     _owned_dirs.add(directory)
     handle = SharedCSRHandle(
         n_users=csr.n_users,
@@ -223,7 +238,7 @@ def share_task_arrays(
         return None
     if getattr(backend, "closed", False):
         return None
-    directory = tempfile.mkdtemp(prefix="repro-shm-")
+    directory = _new_export_dir()
     _owned_dirs.add(directory)
     handles = {
         name: _export_array(array, directory, name)
@@ -257,8 +272,67 @@ def resolve_arrays(*values) -> tuple[np.ndarray, ...]:
     return tuple(resolve_array(value) for value in values)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Is some process with this PID still running?
+
+    ``kill(pid, 0)`` probes without signalling; ``PermissionError``
+    means the PID exists under another user, so it counts as alive —
+    when in doubt, never reclaim.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def sweep_stale_shm(root: str | None = None) -> list[str]:
+    """Reclaim export directories whose owning process is dead.
+
+    The recovery path for hard kills (``kill -9``, OOM): the owner's
+    atexit sweep never ran, so its memmap files outlived it.  Scans
+    ``root`` (the tempdir by default) for PID-tagged export dirs and
+    removes those whose owner PID no longer exists.  Runs at import
+    (session startup) and at exit; safe concurrently — live owners,
+    this process's own exports and non-matching names are never
+    touched, and removal races are ignored.  Returns what it removed.
+    """
+    root = root or tempfile.gettempdir()
+    removed: list[str] = []
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return removed
+    for name in entries:
+        match = _DIR_PID_PATTERN.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(root, name)
+        if path in _owned_dirs or not os.path.isdir(path):
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        removed.append(path)
+    return removed
+
+
 @atexit.register
 def _cleanup_owned() -> None:  # pragma: no cover - interpreter exit
     for directory in list(_owned_dirs):
         shutil.rmtree(directory, ignore_errors=True)
     _owned_dirs.clear()
+    try:
+        sweep_stale_shm()
+    except Exception:
+        pass
+
+
+# Session startup: reclaim what hard-killed predecessors left behind.
+try:  # pragma: no cover - environment dependent
+    sweep_stale_shm()
+except Exception:
+    pass

@@ -96,6 +96,10 @@ def run_dysim(
             # Wall-clock attribution (bank / selection / final_mc) —
             # what lets a 269-second e2e run say *where* it went.
             "phase_seconds": dict(result.phase_seconds),
+            # Fault handling the backend performed (retries, pool
+            # rebuilds, degradations; empty = fault-free run).  Sweep
+            # store rows lift this into their ``fault_stats`` column.
+            "fault_stats": dict(result.fault_stats),
         },
     )
 
@@ -133,6 +137,10 @@ def run_dysim_select(
         workers=workers,
         step_kernel=step_kernel,
     )
+    backend_stats = estimator.fault_stats
+    stats_before = (
+        backend_stats.copy() if backend_stats is not None else None
+    )
     started = time.perf_counter()
     estimator.prepare()
     bank_done = time.perf_counter()
@@ -147,6 +155,11 @@ def run_dysim_select(
         Seed(user, item, 1) for user, item in sorted(selection.nominees)
     )
     finished = time.perf_counter()
+    fault_stats: dict = {}
+    if backend_stats is not None:
+        delta = backend_stats.delta(stats_before)
+        if delta.activity:
+            fault_stats = delta.as_dict()
     return BaselineResult(
         name="DysimSelect",
         seed_group=seed_group,
@@ -161,6 +174,7 @@ def run_dysim_select(
                 "bank": bank_done - started,
                 "selection": finished - bank_done,
             },
+            "fault_stats": fault_stats,
         },
     )
 

@@ -514,6 +514,18 @@ class RealizationBank:
         self.reach_evictions = 0
 
     @property
+    def fault_stats(self):
+        """Fault handling the bank's backend performed (or None).
+
+        World fills and sharded stack computations fan out through the
+        supervised backend, so crashed/hung fill chunks are re-run
+        with the same per-world coin streams — the bank's contents are
+        bit-identical to a fault-free build regardless of what this
+        record shows.
+        """
+        return getattr(self._backend, "fault_stats", None)
+
+    @property
     def worlds(self) -> list[ReachabilitySketch]:
         """Per-world reachability sketches (materialized on demand).
 

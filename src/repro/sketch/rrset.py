@@ -345,6 +345,16 @@ class RRSetIndex:
 
     # ------------------------------------------------------------------
     @property
+    def fault_stats(self):
+        """Fault handling the sampler's backend performed (or None).
+
+        RR-set sampling fans out through the supervised backend; a
+        re-dispatched chunk replays the same root/draw substreams, so
+        the index is bit-identical to a fault-free build regardless.
+        """
+        return getattr(self._backend, "fault_stats", None)
+
+    @property
     def member_bytes(self) -> int:
         """Bytes held by the packed membership matrix."""
         return int(self.member.nbytes)

@@ -14,6 +14,16 @@ A run that raises records a **tombstone** row (status ``failed`` with
 the captured traceback tail) and the sweep continues — one bad config
 never crashes a campaign.  ``KeyboardInterrupt``/``SystemExit`` still
 propagate: aborting a sweep is not a run failure.
+
+Two retry layers compose here.  *Chunk-level* faults (worker death,
+hangs) are handled transparently below ``map_chunks`` by the engine's
+supervisor (:mod:`repro.engine.resilience`) — a crashed sweep chunk is
+re-dispatched and its completed runs are superseded last-wins by the
+identical re-appended rows.  *Run-level* failures (the run itself
+raised and left a tombstone) are retried by ``run_sweep`` itself when
+``max_retries`` allows: failed runs are re-dispatched with capped
+exponential backoff, each attempt stamped into the row payload, the
+fresh row superseding the tombstone.
 """
 
 from __future__ import annotations
@@ -35,6 +45,10 @@ from repro.sweep.store import (
 )
 
 __all__ = ["SweepReport", "execute_run", "run_sweep"]
+
+#: Ceiling on the run-level retry backoff (seconds): attempt ``k``
+#: sleeps ``min(retry_backoff * 2**(k-1), RETRY_BACKOFF_CAP)``.
+RETRY_BACKOFF_CAP = 30.0
 
 #: Algorithm name reserved for dataset-statistics runs (Tables 2-3):
 #: the payload is the Table-II row plus structural counts, no seeding
@@ -202,6 +216,13 @@ def execute_run(spec_name: str, params: dict, seed: int) -> ResultRow:
         else:
             payload = _algorithm_payload(config.params, seed)
         payload["elapsed_seconds"] = time.perf_counter() - started
+        # Lift the backend's fault accounting (surfaced through the
+        # harness diagnostics) into the row's dedicated column, so the
+        # store records whether a committed result survived recoveries.
+        diagnostics = payload.get("diagnostics")
+        fault_stats = None
+        if isinstance(diagnostics, dict):
+            fault_stats = diagnostics.get("fault_stats") or None
         return ResultRow(
             spec=spec_name,
             config_hash=config.config_hash,
@@ -209,6 +230,7 @@ def execute_run(spec_name: str, params: dict, seed: int) -> ResultRow:
             status=STATUS_OK,
             params=config.params,
             payload=payload,
+            fault_stats=fault_stats,
         )
     except Exception as exc:
         tail = traceback.format_exc(limit=5)
@@ -230,6 +252,10 @@ class SweepTask:
     store_root: str
     spec_name: str
     runs: tuple  # of (params-dict, seed) pairs
+    #: Run-level retry round these runs belong to (0 = first try);
+    #: stamped into each row payload so the store's trajectory shows
+    #: which attempt produced the surviving row.
+    attempt: int = 0
 
 
 def _run_chunk(task: SweepTask, indices: list[int]) -> list[dict]:
@@ -239,6 +265,7 @@ def _run_chunk(task: SweepTask, indices: list[int]) -> list[dict]:
     for index in indices:
         params, seed = task.runs[index]
         row = execute_run(task.spec_name, params, seed)
+        row.payload["attempt"] = task.attempt
         store.append(row)
         out.append({"key": list(row.key), "status": row.status})
     return out
@@ -253,16 +280,22 @@ class SweepReport:
     n_skipped: int
     n_ok: int
     n_failed: int
+    #: Run-level retry dispatches performed (0 unless ``max_retries``
+    #: was given and some runs tombstoned on their first attempt).
+    n_retried: int = 0
 
     @property
     def n_ran(self) -> int:
         return self.n_ok + self.n_failed
 
     def summary(self) -> str:
+        retried = (
+            f", {self.n_retried} retried" if self.n_retried else ""
+        )
         return (
             f"{self.spec}: {self.n_total} runs — "
             f"{self.n_skipped} already stored, {self.n_ok} ran ok, "
-            f"{self.n_failed} failed"
+            f"{self.n_failed} failed{retried}"
         )
 
 
@@ -272,15 +305,25 @@ def run_sweep(
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
     retry_failed: bool = False,
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
     log: Callable[[str], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SweepReport:
     """Run every pending (config, seed) pair of ``spec`` into ``store``.
 
     Resume semantics: pairs with a surviving store row are skipped —
     ``retry_failed=True`` additionally re-runs tombstoned pairs (the
-    fresh row supersedes the tombstone last-wins).  Returns a report;
-    the rows themselves live in the store.
+    fresh row supersedes the tombstone last-wins).  ``max_retries``
+    re-dispatches runs that tombstone *within this invocation* up to
+    that many more times, sleeping a capped exponential backoff
+    (``retry_backoff * 2**(k-1)``, at most :data:`RETRY_BACKOFF_CAP`)
+    before each round — every attempt appends a row, so the store
+    trajectory keeps each tombstone the surviving row superseded.
+    Returns a report; the rows themselves live in the store.
     """
+    if max_retries < 0:
+        raise SweepError(f"max_retries must be >= 0, got {max_retries}")
     resolved = resolve_backend(backend, workers)
     keys = spec.run_keys()
     present = store.keys(spec.name)
@@ -302,21 +345,49 @@ def run_sweep(
             n_ok=0,
             n_failed=0,
         )
-    task = SweepTask(
-        store_root=str(store.root),
-        spec_name=spec.name,
-        runs=tuple(pending),
-    )
-    chunks = worker_chunks(len(pending), resolved)
-    results = resolved.map_chunks(_run_chunk, task, chunks)
-    outcomes = [entry for chunk in results for entry in chunk]
-    n_failed = sum(1 for entry in outcomes if entry["status"] != STATUS_OK)
+
+    def dispatch(runs: list, attempt: int) -> list[dict]:
+        task = SweepTask(
+            store_root=str(store.root),
+            spec_name=spec.name,
+            runs=tuple(runs),
+            attempt=attempt,
+        )
+        chunks = worker_chunks(len(runs), resolved)
+        results = resolved.map_chunks(_run_chunk, task, chunks)
+        # Chunks are contiguous index ranges and come back in chunk
+        # order, so the flattened outcomes align with ``runs``.
+        return [entry for chunk in results for entry in chunk]
+
+    statuses = [None] * len(pending)
+    current = list(range(len(pending)))
+    attempt = 0
+    n_retried = 0
+    while True:
+        outcomes = dispatch([pending[i] for i in current], attempt)
+        for index, outcome in zip(current, outcomes):
+            statuses[index] = outcome["status"]
+        failed = [i for i in current if statuses[i] != STATUS_OK]
+        if not failed or attempt >= max_retries:
+            break
+        attempt += 1
+        n_retried += len(failed)
+        if retry_backoff > 0:
+            sleep(min(retry_backoff * 2 ** (attempt - 1), RETRY_BACKOFF_CAP))
+        if log is not None:
+            log(
+                f"sweep {spec.name}: retrying {len(failed)} failed "
+                f"runs (attempt {attempt}/{max_retries})"
+            )
+        current = failed
+    n_failed = sum(1 for status in statuses if status != STATUS_OK)
     report = SweepReport(
         spec=spec.name,
         n_total=len(keys),
         n_skipped=len(keys) - len(pending),
-        n_ok=len(outcomes) - n_failed,
+        n_ok=len(pending) - n_failed,
         n_failed=n_failed,
+        n_retried=n_retried,
     )
     if log is not None:
         log(report.summary())

@@ -47,7 +47,15 @@ STATUS_FAILED = "failed"
 
 @dataclass
 class ResultRow:
-    """One (config, seed) outcome."""
+    """One (config, seed) outcome.
+
+    ``fault_stats`` records what the execution layer had to recover
+    from while producing this row (retries, pool rebuilds,
+    degradations — see :class:`repro.engine.FaultStats`); ``None``
+    means fault-free.  The field is additive within the current
+    schema version: old rows without it parse unchanged (their hashes
+    are untouched — it does not participate in the config hash).
+    """
 
     spec: str
     config_hash: str
@@ -57,6 +65,7 @@ class ResultRow:
     payload: dict = field(default_factory=dict)
     error: str | None = None
     schema_version: int = SCHEMA_VERSION
+    fault_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -81,6 +90,7 @@ class ResultRow:
             payload=data.get("payload", {}),
             error=data.get("error"),
             schema_version=int(data.get("schema_version", 0)),
+            fault_stats=data.get("fault_stats"),
         )
 
 

@@ -148,3 +148,29 @@ class TestResolution:
         backend.close()
         with pytest.raises(RuntimeError, match="closed"):
             _full_estimate(backend, tiny_instance)
+
+
+class TestCleanupLogging:
+    def test_failing_cleanup_is_logged_and_does_not_block_others(
+        self, caplog
+    ):
+        import logging
+
+        backend = ThreadBackend(workers=1)
+        ran = []
+
+        def exploding_cleanup():
+            raise RuntimeError("cleanup exploded")
+
+        backend.add_cleanup(exploding_cleanup)
+        backend.add_cleanup(lambda: ran.append("later"))
+        with caplog.at_level(logging.WARNING, "repro.engine.backends"):
+            backend.close()
+        # The failure is visible (callback named in the warning) and
+        # the callbacks registered after it still ran.
+        assert ran == ["later"]
+        messages = [record.getMessage() for record in caplog.records]
+        assert any(
+            "exploding_cleanup" in msg and "failed" in msg
+            for msg in messages
+        )

@@ -92,8 +92,15 @@ class TestSingleChunk:
         assert chunk_indices(3, 8) == [[0, 1, 2]]
         assert chunk_indices(4, 4) == [[0, 1, 2, 3]]
 
-    def test_single_chunk_skips_executor(self):
-        """A one-chunk run must not pay pool start-up."""
+    def test_single_chunk_skips_executor(self, monkeypatch):
+        """A one-chunk run must not pay pool start-up.
+
+        The fast path only exists without supervision knobs, so pin a
+        clean environment (the CI chaos leg exports a fault plan,
+        under which every dispatch rightly goes through the pool).
+        """
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        monkeypatch.delenv("REPRO_CHUNK_TIMEOUT", raising=False)
         instance = build_tiny_instance()
         with ThreadBackend(workers=4, chunk_size=8) as pool:
             result = pool.run(_task(instance), 3)

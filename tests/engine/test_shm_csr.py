@@ -200,3 +200,63 @@ def test_share_task_arrays_roundtrip_and_cleanup():
 def test_resolve_array_passes_plain_arrays_through():
     array = np.arange(3)
     assert resolve_array(array) is array
+
+
+# ---------------------------------------------------------------------------
+# stale-export sweeper
+# ---------------------------------------------------------------------------
+def _dead_pid() -> int:
+    """PID of a process that has already exited and been reaped."""
+    import subprocess
+
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+def test_sweeper_reclaims_dead_owner_dirs(tmp_path):
+    """Hard-killed owners (kill -9, OOM) leak their memmap files; the
+    startup/atexit sweeper reclaims them by liveness-probing the PID
+    baked into the directory name."""
+    from repro.engine.shm import sweep_stale_shm
+
+    stale = tmp_path / f"repro-shm-{_dead_pid()}-deadbeef"
+    stale.mkdir()
+    (stale / "block.bin").write_bytes(b"\x00" * 64)
+    mine = tmp_path / f"repro-shm-{os.getpid()}-cafe"
+    mine.mkdir()
+    # getppid() is the live pytest parent — another live owner.
+    others = tmp_path / f"repro-shm-{os.getppid()}-live"
+    others.mkdir()
+    unrelated = tmp_path / "scratch-dir"
+    unrelated.mkdir()
+    not_a_dir = tmp_path / f"repro-shm-{_dead_pid()}-file"
+    not_a_dir.write_text("plain file, not an export dir")
+
+    removed = sweep_stale_shm(root=str(tmp_path))
+
+    assert removed == [str(stale)]
+    assert not stale.exists()
+    for survivor in (mine, others, unrelated, not_a_dir):
+        assert survivor.exists()
+
+
+def test_sweeper_leaves_live_exports_usable():
+    """Sweeping must never disturb this process's own live shares."""
+    from repro.engine.shm import sweep_stale_shm
+
+    csr = build_tiny_network().csr
+    share_csr(csr)
+    try:
+        directory = _shm_dir(csr)
+        removed = sweep_stale_shm()
+        assert directory not in removed
+        assert os.path.isdir(directory)
+        clone = pickle.loads(pickle.dumps(csr))
+        assert np.array_equal(clone.out_indptr, csr.out_indptr)
+    finally:
+        release_csr(csr)
+    # Idempotent-release regression: a second release after the sweep
+    # interaction is still a no-op, not an error.
+    release_csr(csr)
+    assert not os.path.exists(directory)

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the core invariants.
 
-DESIGN.md §9 lists the invariants; each strategy drives the real code
+DESIGN.md §10 lists the invariants; each strategy drives the real code
 paths with arbitrary (bounded) inputs.
 """
 

@@ -101,6 +101,73 @@ def test_tombstones_and_retry(tmp_path, monkeypatch, demo_spec):
     assert store.status("demo").n_superseded == 2
 
 
+def test_retry_with_backoff_supersedes_tombstones(
+    tmp_path, monkeypatch, demo_spec
+):
+    """max_retries re-dispatches only the failed runs, with capped
+    exponential backoff between rounds; the fresh ok rows supersede
+    the tombstones last-wins and carry the attempt number."""
+    seen = set()
+
+    def flaky_once(spec_name, params, seed):
+        row = _fake_execute(spec_name, params, seed)
+        key = (params["a"], seed)
+        if params["a"] == 2 and key not in seen:
+            seen.add(key)
+            row.status = STATUS_FAILED
+            row.error = "ValueError: transient"
+            row.payload = {}
+        return row
+
+    slept = []
+    monkeypatch.setattr(runner_module, "execute_run", flaky_once)
+    store = ResultStore(tmp_path)
+    report = run_sweep(
+        demo_spec,
+        store,
+        max_retries=1,
+        retry_backoff=0.25,
+        sleep=slept.append,
+    )
+    assert (report.n_ok, report.n_failed, report.n_retried) == (6, 0, 2)
+    assert slept == [0.25]
+    rows = store.rows("demo")
+    assert all(row.ok for row in rows)
+    assert len(rows) == 6
+    # The two tombstones remain in the trajectory, superseded.
+    assert store.status("demo").n_superseded == 2
+    retried = [row for row in rows if row.params["a"] == 2]
+    assert all(row.payload["attempt"] == 1 for row in retried)
+    fresh = [row for row in rows if row.params["a"] != 2]
+    assert all(row.payload["attempt"] == 0 for row in fresh)
+
+
+def test_retry_backoff_grows_and_caps(tmp_path, monkeypatch, demo_spec):
+    def always_failing(spec_name, params, seed):
+        row = _fake_execute(spec_name, params, seed)
+        row.status = STATUS_FAILED
+        row.error = "ValueError: permanent"
+        row.payload = {}
+        return row
+
+    slept = []
+    monkeypatch.setattr(runner_module, "execute_run", always_failing)
+    store = ResultStore(tmp_path)
+    report = run_sweep(
+        demo_spec,
+        store,
+        max_retries=9,
+        retry_backoff=8.0,
+        sleep=slept.append,
+    )
+    assert report.n_failed == 6
+    assert report.n_retried == 9 * 6
+    assert slept[:4] == [8.0, 16.0, 30.0, 30.0]
+    assert max(slept) == runner_module.RETRY_BACKOFF_CAP
+    with pytest.raises(runner_module.SweepError):
+        run_sweep(demo_spec, store, max_retries=-1)
+
+
 def test_execute_run_tombstones_real_failures(tmp_path):
     row = execute_run(
         "demo", {"algorithm": "stats", "dataset": "courses/ZZZ"}, 0

@@ -94,6 +94,29 @@ def test_specs_listing(tmp_path):
     assert store.specs() == ["demo", "zeta"]
 
 
+def test_fault_stats_roundtrip(tmp_path):
+    store = ResultStore(tmp_path)
+    row = _row()
+    row.fault_stats = {"retries": 2, "pool_rebuilds": 1}
+    store.append(row)
+    (loaded,) = store.rows("demo")
+    assert loaded.fault_stats == {"retries": 2, "pool_rebuilds": 1}
+
+
+def test_rows_without_fault_stats_parse_unchanged(tmp_path):
+    """Pre-resilience rows (no fault_stats key) are still valid — the
+    field is additive within the current schema version."""
+    store = ResultStore(tmp_path)
+    old = json.loads(_row().to_json())
+    del old["fault_stats"]
+    store.path("demo").parent.mkdir(parents=True, exist_ok=True)
+    with store.path("demo").open("a") as handle:
+        handle.write(json.dumps(old) + "\n")
+    (loaded,) = store.rows("demo")
+    assert loaded.fault_stats is None
+    assert loaded.ok
+
+
 def _append_batch(root, worker_id, n_rows):
     store = ResultStore(root)
     for i in range(n_rows):
